@@ -1,0 +1,94 @@
+// E10 — Substrate validation microbenchmark (google-benchmark): packet
+// classification throughput of the linear TCAM-semantics reference vs the
+// HiCuts-style decision tree, across rule-table sizes. Justifies the switch
+// model's lookup-cost assumptions.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "classifier/dtree.hpp"
+#include "classifier/linear.hpp"
+#include "workload/rulegen.hpp"
+
+namespace difane {
+namespace {
+
+std::vector<BitVec> make_packets(const RuleTable& policy, std::size_t n,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BitVec> packets;
+  packets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 2 == 0 || policy.empty()) {
+      packets.push_back(Ternary::wildcard().sample_point(rng));
+    } else {
+      packets.push_back(
+          policy.at(rng.uniform(0, policy.size() - 1)).match.sample_point(rng));
+    }
+  }
+  return packets;
+}
+
+// Fixtures are cached across benchmark invocations: google-benchmark calls
+// each function several times to calibrate, and rebuilding a 10K-rule tree
+// on every call would dominate the run.
+const RuleTable& cached_policy(std::size_t size) {
+  static std::map<std::size_t, RuleTable> cache;
+  auto it = cache.find(size);
+  if (it == cache.end()) {
+    it = cache.emplace(size, classbench_like(size, 3)).first;
+  }
+  return it->second;
+}
+
+const DTreeClassifier& cached_tree(std::size_t size) {
+  static std::map<std::size_t, DTreeClassifier> cache;
+  auto it = cache.find(size);
+  if (it == cache.end()) {
+    DTreeParams params;
+    params.leaf_size = 64;  // coarse leaves: wildcard ACLs replicate badly below
+    it = cache.emplace(size, DTreeClassifier(cached_policy(size), params)).first;
+  }
+  return it->second;
+}
+
+void BM_LinearClassify(benchmark::State& state) {
+  const auto& policy = cached_policy(static_cast<std::size_t>(state.range(0)));
+  LinearClassifier classifier(policy);
+  const auto packets = make_packets(policy, 1024, 7);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.classify(packets[i++ & 1023]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_DTreeClassify(benchmark::State& state) {
+  const auto& policy = cached_policy(static_cast<std::size_t>(state.range(0)));
+  const auto& classifier = cached_tree(static_cast<std::size_t>(state.range(0)));
+  const auto packets = make_packets(policy, 1024, 7);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.classify(packets[i++ & 1023]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_DTreeBuild(benchmark::State& state) {
+  const auto& policy = cached_policy(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    DTreeParams params;
+    params.leaf_size = 64;
+    DTreeClassifier classifier(policy, params);
+    benchmark::DoNotOptimize(&classifier);
+  }
+}
+
+BENCHMARK(BM_LinearClassify)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_DTreeClassify)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_DTreeBuild)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace difane
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// E7 — Policy churn: cost of rule insert/delete with incremental partition
+// maintenance vs a full repartition. DIFANE's controller must absorb policy
+// updates without touching unrelated authority switches; the metric is how
+// many partitions (and rule copies) each update disturbs, and wall-clock
+// time per operation.
+#include <chrono>
+
+#include "common.hpp"
+
+#include "partition/incremental.hpp"
+
+using namespace difane;
+using namespace difane::bench;
+
+namespace {
+
+Rule random_rule(Rng& rng, RuleId id) {
+  Rule r;
+  r.id = id;
+  r.priority = static_cast<Priority>(rng.uniform(1, 5000));
+  const auto dst = static_cast<std::uint32_t>(rng.uniform(0, 0xffffffffULL));
+  match_prefix(r.match, Field::kIpDst, dst, 8 + rng.uniform(0, 24));
+  if (rng.bernoulli(0.6)) {
+    const auto src = static_cast<std::uint32_t>(rng.uniform(0, 0xffffffffULL));
+    match_prefix(r.match, Field::kIpSrc, src, 8 + rng.uniform(0, 24));
+  }
+  if (rng.bernoulli(0.4)) {
+    match_exact(r.match, Field::kIpProto, rng.bernoulli(0.5) ? 6 : 17);
+  }
+  r.action = rng.bernoulli(0.5) ? Action::drop() : Action::forward(1);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_header("E7: policy-churn cost, incremental vs full repartition",
+               "network-dynamics discussion (policy changes)",
+               "incremental updates touch a small constant number of "
+               "partitions; full rebuild touches all of them");
+
+  for (const std::size_t policy_size : {1000u, 5000u}) {
+    const auto policy = classbench_like(policy_size, 41);
+    PartitionerParams params;
+    params.capacity = std::max<std::size_t>(64, policy_size / 16);
+    IncrementalPartitioner inc(policy, params, 4);
+    const auto partitions_total = inc.partition_count();
+
+    Rng rng(43);
+    OnlineStats touched_insert, touched_remove;
+    std::vector<RuleId> inserted;
+    const int ops = 400;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < ops; ++i) {
+      const Rule r = random_rule(rng, 900000 + static_cast<RuleId>(i));
+      touched_insert.add(static_cast<double>(inc.insert(r).size()));
+      inserted.push_back(r.id);
+    }
+    for (const auto id : inserted) {
+      touched_remove.add(static_cast<double>(inc.remove(id).size()));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us_per_op =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / (2.0 * ops);
+
+    // Full repartition reference cost (time + everything touched).
+    const auto t2 = std::chrono::steady_clock::now();
+    const auto full = Partitioner(params).build(policy, 4);
+    const auto t3 = std::chrono::steady_clock::now();
+    const double full_ms = std::chrono::duration<double, std::milli>(t3 - t2).count();
+
+    std::printf("policy: %zu rules, %zu partitions\n", policy.size(), partitions_total);
+    TextTable table({"operation", "avg partitions touched", "max", "of total",
+                     "time/op"});
+    table.add_row({"incremental insert", TextTable::num(touched_insert.mean(), 2),
+                   TextTable::num(touched_insert.max(), 0),
+                   TextTable::integer(static_cast<long long>(partitions_total)),
+                   TextTable::num(us_per_op, 1) + " us"});
+    table.add_row({"incremental remove", TextTable::num(touched_remove.mean(), 2),
+                   TextTable::num(touched_remove.max(), 0),
+                   TextTable::integer(static_cast<long long>(partitions_total)),
+                   TextTable::num(us_per_op, 1) + " us"});
+    table.add_row({"full repartition", TextTable::num(static_cast<double>(full.partitions().size()), 0),
+                   TextTable::num(static_cast<double>(full.partitions().size()), 0),
+                   TextTable::integer(static_cast<long long>(full.partitions().size())),
+                   TextTable::num(full_ms * 1000.0, 1) + " us"});
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared scenario builders for the experiment harnesses. Each bench binary
+// regenerates one table/figure of the DIFANE evaluation (see DESIGN.md's
+// experiment index and EXPERIMENTS.md for paper-vs-measured).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/system.hpp"
+#include "util/table.hpp"
+#include "workload/rulegen.hpp"
+#include "workload/trafficgen.hpp"
+
+namespace difane::bench {
+
+// A pure flow-setup storm: single-packet flows, (almost) all distinct, so
+// every arrival exercises the miss path. This is the workload behind the
+// paper's throughput comparison.
+inline std::vector<FlowSpec> setup_storm(const RuleTable& policy, double rate,
+                                         double duration, std::uint64_t seed,
+                                         std::uint32_t ingress_count = 4) {
+  TrafficParams tp;
+  tp.seed = seed;
+  tp.flow_pool = 1u << 21;
+  tp.zipf_s = 0.0;
+  tp.arrival_rate = rate;
+  tp.duration = duration;
+  tp.mean_packets = 1.0;
+  tp.max_packets = 1.0;
+  tp.ingress_count = ingress_count;
+  TrafficGenerator gen(policy, tp);
+  return gen.generate();
+}
+
+// Zipf-popular repeated traffic: the cache-effectiveness workload.
+inline std::vector<FlowSpec> zipf_traffic(const RuleTable& policy, double rate,
+                                          double duration, std::size_t pool,
+                                          double skew, std::uint64_t seed,
+                                          double mean_packets = 5.0,
+                                          std::uint32_t ingress_count = 4) {
+  TrafficParams tp;
+  tp.seed = seed;
+  tp.flow_pool = pool;
+  tp.zipf_s = skew;
+  tp.arrival_rate = rate;
+  tp.duration = duration;
+  tp.mean_packets = mean_packets;
+  tp.ingress_count = ingress_count;
+  TrafficGenerator gen(policy, tp);
+  return gen.generate();
+}
+
+inline ScenarioParams difane_params(std::uint32_t authorities,
+                                    CacheStrategy strategy,
+                                    std::size_t cache_capacity = 1u << 20) {
+  ScenarioParams params;
+  params.mode = Mode::kDifane;
+  params.edge_switches = 4;
+  params.core_switches = std::max<std::size_t>(2, authorities);
+  params.authority_count = authorities;
+  params.edge_cache_capacity = cache_capacity;
+  params.partitioner.capacity = 1000;
+  params.cache_strategy = strategy;
+  return params;
+}
+
+inline ScenarioParams nox_params(std::size_t cache_capacity = 1u << 20) {
+  ScenarioParams params;
+  params.mode = Mode::kNox;
+  params.edge_switches = 4;
+  params.core_switches = 2;
+  params.edge_cache_capacity = cache_capacity;
+  return params;
+}
+
+inline void print_header(const char* experiment, const char* paper_analogue,
+                         const char* expectation) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper analogue : %s\n", paper_analogue);
+  std::printf("expected shape : %s\n", expectation);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace difane::bench

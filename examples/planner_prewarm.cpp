@@ -1,0 +1,104 @@
+// Pre-warmed caches: instead of waiting for misses, the controller runs the
+// offline cache planner against expected traffic weights and pushes the
+// chosen (spliced) rules into every ingress cache before traffic starts.
+// Compares cold-start vs pre-warmed first-second behaviour.
+#include <cstdio>
+
+#include "core/cache_planner.hpp"
+#include "core/system.hpp"
+#include "util/table.hpp"
+#include "workload/rulegen.hpp"
+
+using namespace difane;
+
+namespace {
+
+ScenarioParams base_params() {
+  ScenarioParams params;
+  params.mode = Mode::kDifane;
+  params.edge_switches = 4;
+  params.core_switches = 2;
+  params.authority_count = 1;  // one authority: planner shadows point there
+  params.edge_cache_capacity = 1000;
+  params.partitioner.capacity = 5000;  // single partition; plan on the policy
+  params.cache_strategy = CacheStrategy::kCoverSet;
+  return params;
+}
+
+ScenarioStats run(const RuleTable& policy, bool prewarm, std::size_t budget) {
+  Scenario scenario(policy, base_params());
+  if (prewarm) {
+    const auto graph = build_dependency_graph(policy);
+    const auto plan = plan_cache(policy, graph, CacheStrategy::kCoverSet, budget);
+    const SwitchId authority = scenario.difane()->authority_switches()[0];
+    const auto rules =
+        materialize_plan(policy, graph, plan, CacheStrategy::kCoverSet, authority,
+                         /*synth base=*/0x70000000u);
+    std::printf("  planner chose %zu rules (%zu entries, expected hit %.1f%%)\n",
+                plan.chosen.size(), rules.size(), plan.expected_hit_rate() * 100.0);
+    // Push the planned rules into every ingress cache. Protectors first;
+    // infinite timeouts (pinned entries — the plan is the budget).
+    for (std::uint32_t e = 0; e < 4; ++e) {
+      auto ordered = rules;
+      std::sort(ordered.begin(), ordered.end(), rule_before);
+      std::vector<RuleId> installed;
+      for (const auto& rule : ordered) {
+        std::vector<RuleId> guards;
+        if (rule.action.type != ActionType::kEncap) guards = installed;
+        scenario.net()
+            .sw(scenario.ingress_switch(e))
+            .table()
+            .install(rule, Band::kCache, 0.0, /*idle=*/0.0, /*hard=*/0.0, guards);
+        installed.push_back(rule.id);
+      }
+    }
+  }
+  TrafficParams tp;
+  tp.seed = 321;
+  tp.flow_pool = 30000;
+  tp.zipf_s = 0.9;
+  tp.arrival_rate = 8000.0;
+  tp.duration = 1.0;
+  tp.mean_packets = 2.0;
+  tp.ingress_count = 4;
+  TrafficGenerator gen(policy, tp);
+  return scenario.run(gen.generate());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Offline cache planning: cold start vs pre-warmed ingress caches\n");
+  std::printf("================================================================\n\n");
+  // Zipf-weighted rules so the planner has meaningful popularity data.
+  RuleGenParams rp;
+  rp.num_rules = 1500;
+  rp.seed = 2027;
+  rp.weight_mode = WeightMode::kZipfByIndex;
+  rp.chain_count = 30;
+  rp.chain_depth = 5;
+  const auto policy = generate_policy(rp);
+  std::printf("policy: %zu rules, Zipf-weighted popularity\n\n", policy.size());
+
+  std::printf("cold start:\n");
+  const auto cold = run(policy, false, 0);
+  std::printf("pre-warmed (budget 500 entries):\n");
+  const auto warm = run(policy, true, 500);
+
+  TextTable table({"metric", "cold", "pre-warmed"});
+  table.add_row({"ingress cache hit %", TextTable::num(cold.cache_hit_fraction() * 100, 1),
+                 TextTable::num(warm.cache_hit_fraction() * 100, 1)});
+  table.add_row({"redirects", TextTable::integer(static_cast<long long>(cold.redirects)),
+                 TextTable::integer(static_cast<long long>(warm.redirects))});
+  table.add_row({"cache installs (reactive)",
+                 TextTable::integer(static_cast<long long>(cold.cache_installs)),
+                 TextTable::integer(static_cast<long long>(warm.cache_installs))});
+  std::printf("\n%s", table.render().c_str());
+  std::printf(
+      "\nPre-warming lifts the steady hit rate: the planner's spliced rules\n"
+      "absorb popular traffic from the very first packet. The trade-off is\n"
+      "visible too — pinned cover-set shadows keep bouncing contested\n"
+      "overlap regions to the authority switch (counted as redirects), the\n"
+      "price of preserving exact semantics without caching whole chains.\n");
+  return 0;
+}

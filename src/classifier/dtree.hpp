@@ -1,0 +1,67 @@
+// Decision-tree packet classifier (HiCuts-style, binary cuts on header
+// bits). Rules with a wildcard in the cut bit are duplicated into both
+// subtrees, so every leaf holds exactly the rules that can match packets
+// reaching it. The same cut machinery, with capacity-bounded leaves, is what
+// DIFANE's flow-space partitioner builds on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flowspace/rule_table.hpp"
+
+namespace difane {
+
+struct DTreeParams {
+  std::size_t leaf_size = 8;     // stop splitting at or below this many rules
+  std::size_t max_depth = 64;    // hard recursion bound
+  // Relative weight of duplication vs. balance when scoring a cut bit:
+  // score = max(n0, n1) + dup_penalty * (n0 + n1 - n).
+  double dup_penalty = 1.0;
+};
+
+// Chooses the cut bit minimizing the score above over all bits that actually
+// separate the given rules. Returns -1 if no bit separates them. Exposed for
+// reuse by the partitioner.
+// n0/n1 out-params receive the subset sizes for the chosen bit.
+int choose_cut_bit(const std::vector<const Rule*>& rules, double dup_penalty,
+                   std::size_t* n0_out = nullptr, std::size_t* n1_out = nullptr);
+
+class DTreeClassifier {
+ public:
+  // Copies the table's rules; the classifier owns its data.
+  explicit DTreeClassifier(const RuleTable& table, DTreeParams params = {});
+
+  // Highest-priority matching rule or nullptr. Walks the tree, then scans the
+  // leaf in priority order. The returned pointer is into this classifier's
+  // own storage and stays valid for its lifetime.
+  const Rule* classify(const BitVec& packet) const;
+
+  // Structure stats (for the substrate-validation bench E10).
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  std::size_t depth() const { return depth_; }
+  double avg_leaf_rules() const;
+  // Total rule references across leaves / original rule count: the
+  // duplication the cut strategy pays.
+  double duplication_factor() const;
+
+ private:
+  struct Node {
+    std::int32_t cut_bit = -1;                   // -1 => leaf
+    std::uint32_t left = 0, right = 0;           // children, internal only
+    std::uint32_t leaf_begin = 0, leaf_end = 0;  // [begin,end) into leaf_refs_
+  };
+
+  std::uint32_t build(std::vector<std::uint32_t>& rules, std::size_t depth);
+  std::uint32_t make_leaf(const std::vector<std::uint32_t>& rules);
+
+  DTreeParams params_;
+  std::vector<Rule> rules_;                // priority-ordered copies
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> leaf_refs_;   // leaves' rule indices, priority-ordered
+  std::uint32_t root_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace difane

@@ -1,0 +1,4 @@
+#include "classifier/linear.hpp"
+
+// LinearClassifier is header-only; this translation unit pins the library.
+namespace difane {}

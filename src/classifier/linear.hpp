@@ -1,0 +1,40 @@
+// Linear-scan classifier: the semantic reference model of a TCAM. A real
+// TCAM answers in one cycle; in simulation the *semantics* are a priority
+// scan. Lookup cost accounting lets the event simulator model software
+// switches whose per-packet cost grows with table size.
+#pragma once
+
+#include <cstdint>
+
+#include "flowspace/rule_table.hpp"
+
+namespace difane {
+
+class LinearClassifier {
+ public:
+  LinearClassifier() = default;
+  explicit LinearClassifier(RuleTable table) : table_(std::move(table)) {}
+
+  const Rule* classify(const BitVec& packet) const {
+    ++lookups_;
+    const Rule* r = table_.match(packet);
+    rules_scanned_ += r ? 1 : table_.size();
+    return r;
+  }
+
+  const RuleTable& table() const { return table_; }
+  RuleTable& table() { return table_; }
+
+  std::uint64_t lookups() const { return lookups_; }
+  double avg_rules_scanned() const {
+    return lookups_ ? static_cast<double>(rules_scanned_) / static_cast<double>(lookups_)
+                    : 0.0;
+  }
+
+ private:
+  RuleTable table_;
+  mutable std::uint64_t lookups_ = 0;
+  mutable std::uint64_t rules_scanned_ = 0;
+};
+
+}  // namespace difane

@@ -1,0 +1,45 @@
+#include "core/authority.hpp"
+
+#include "util/contract.hpp"
+
+namespace difane {
+
+void AuthorityNode::bind(const Partition& partition, RuleId synth_id_base) {
+  bindings_.push_back(Binding{
+      &partition,
+      CacheRuleGenerator(partition, switch_id_, strategy_, synth_id_base,
+                         max_splice_cost_)});
+}
+
+std::optional<AuthorityNode::RedirectResult> AuthorityNode::handle(
+    const BitVec& packet) {
+  for (auto& binding : bindings_) {
+    if (!binding.partition->region.matches(packet)) continue;
+    RedirectResult result;
+    result.partition = binding.partition->id;
+    const auto idx = binding.partition->rules.match_index(packet);
+    if (!idx.has_value()) {
+      result.winner = nullptr;  // partition covers the packet, no rule does
+      return result;
+    }
+    result.winner = &binding.partition->rules.at(*idx);
+    result.install = binding.generator.generate(packet, *idx);
+    return result;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> AuthorityNode::splice_costs(PartitionId partition) {
+  for (auto& binding : bindings_) {
+    if (binding.partition->id != partition) continue;
+    std::vector<std::size_t> costs;
+    costs.reserve(binding.partition->rules.size());
+    for (std::size_t i = 0; i < binding.partition->rules.size(); ++i) {
+      costs.push_back(binding.generator.cost_of(i));
+    }
+    return costs;
+  }
+  throw contract_violation("splice_costs: partition not bound to this authority");
+}
+
+}  // namespace difane

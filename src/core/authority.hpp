@@ -1,0 +1,68 @@
+// Authority-switch control logic. An authority switch hosts one or more
+// partitions: the clipped authority rules live in its TCAM's authority band
+// (installed by the DIFANE controller), and this class answers the two
+// questions a redirected packet raises — which rule wins, and which cache
+// rules should be pushed back to the ingress switch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/cache.hpp"
+
+namespace difane {
+
+class AuthorityNode {
+ public:
+  AuthorityNode(SwitchId switch_id, CacheStrategy strategy,
+                std::size_t max_splice_cost = 32)
+      : switch_id_(switch_id),
+        strategy_(strategy),
+        max_splice_cost_(max_splice_cost) {}
+
+  SwitchId switch_id() const { return switch_id_; }
+
+  // Bind a partition this switch serves (as primary or backup). `partition`
+  // must outlive the node. `synth_id_base` spaces the generator's synthetic
+  // rule ids; callers hand each binding a disjoint range.
+  void bind(const Partition& partition, RuleId synth_id_base);
+
+  std::size_t partition_count() const { return bindings_.size(); }
+
+  bool serves(PartitionId partition) const {
+    for (const auto& binding : bindings_) {
+      if (binding.partition->id == partition) return true;
+    }
+    return false;
+  }
+
+  struct RedirectResult {
+    const Rule* winner = nullptr;   // nullptr => no rule in the partition
+    PartitionId partition = 0;
+    CacheInstall install;           // cache rules for the ingress switch
+  };
+
+  // Handle a redirected packet: locate the owning partition among this
+  // switch's bindings, match it, and produce the cache install.
+  // Returns nullopt if no bound partition covers the packet (a misdirected
+  // packet — e.g. stale partition rules right after failover).
+  std::optional<RedirectResult> handle(const BitVec& packet);
+
+  // Number of cache-band TCAM entries the strategy charges for caching each
+  // rule of the given partition (paper-style splice cost; used by benches).
+  std::vector<std::size_t> splice_costs(PartitionId partition);
+
+ private:
+  struct Binding {
+    const Partition* partition;
+    CacheRuleGenerator generator;
+  };
+
+  SwitchId switch_id_;
+  CacheStrategy strategy_;
+  std::size_t max_splice_cost_;
+  std::vector<Binding> bindings_;
+};
+
+}  // namespace difane

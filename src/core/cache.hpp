@@ -1,0 +1,77 @@
+// Cache-rule generation — how an authority switch reacts to a redirected
+// packet. The paper's key point: wildcard rules cannot be cached naively,
+// because an overlapping higher-priority rule that is *not* cached would let
+// the cached rule steal its packets. Three semantics-preserving strategies:
+//
+//  * kMicroflow       — cache one exact-match rule per flow (the
+//                       Ethane/NOX-era baseline; always safe, never shares).
+//  * kDependentSet    — cache the matched (clipped) rule together with every
+//                       rule in its dependency closure inside the partition.
+//  * kCoverSet        — cache the matched rule plus, for each immediate
+//                       dependency parent, a shadow rule at the parent's
+//                       priority that *redirects back to the authority
+//                       switch* instead of dragging the whole chain in.
+//
+// All three guarantee: a cache-band hit either yields the true policy
+// winner's action or a redirect — never a wrong terminal action.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "flowspace/dependency.hpp"
+#include "partition/plan.hpp"
+#include "switchsim/sw.hpp"
+
+namespace difane {
+
+enum class CacheStrategy : std::uint8_t { kMicroflow = 0, kDependentSet, kCoverSet };
+
+const char* cache_strategy_name(CacheStrategy strategy);
+
+// A cache install: rules destined for one ingress switch's cache band.
+struct CacheInstall {
+  std::vector<Rule> rules;
+};
+
+// Generates cache rules for one partition. Owns the partition's dependency
+// graph (built lazily on first use) and an id allocator for synthesized
+// shadow/microflow rules.
+class CacheRuleGenerator {
+ public:
+  // `partition` must outlive the generator. `authority_switch` is the switch
+  // shadow rules redirect to. `synth_id_base` must not collide with policy
+  // rule ids (synthesized ids count up from it). `max_splice_cost` bounds
+  // the entries a single wildcard-cache decision may install: rules whose
+  // dependent closure / shadow set is larger degrade to a microflow entry
+  // (one exact-match rule), keeping a hot-but-deeply-entangled rule from
+  // flooding the ingress cache with protectors.
+  CacheRuleGenerator(const Partition& partition, SwitchId authority_switch,
+                     CacheStrategy strategy, RuleId synth_id_base,
+                     std::size_t max_splice_cost = 32);
+
+  // Cache rules for a packet that matched `matched_idx` (index into the
+  // partition's clipped table, priority order).
+  CacheInstall generate(const BitVec& packet, std::size_t matched_idx);
+
+  CacheStrategy strategy() const { return strategy_; }
+  // TCAM entries the strategy would charge for caching each rule (the
+  // paper-style cost of splicing a chain at that rule).
+  std::size_t cost_of(std::size_t idx);
+
+ private:
+  const DependencyGraph& graph();
+
+  CacheInstall microflow_install(const BitVec& packet, const Rule& matched);
+
+  const Partition& partition_;
+  SwitchId authority_switch_;
+  CacheStrategy strategy_;
+  RuleId next_synth_id_;     // sequential (microflow) ids
+  RuleId shadow_id_base_;    // deterministic shadow-id space (cover-set)
+  std::size_t max_splice_cost_;
+  std::unique_ptr<DependencyGraph> graph_;  // lazy
+};
+
+}  // namespace difane

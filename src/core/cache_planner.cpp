@@ -1,0 +1,152 @@
+#include "core/cache_planner.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace difane {
+
+namespace {
+
+// Marginal cost/gain of selecting rule `idx` given what is already chosen.
+struct Marginal {
+  std::size_t cost = 0;
+  double gain = 0.0;
+  std::vector<std::uint32_t> new_rules;  // rules that would newly be cached
+};
+
+Marginal marginal_dependent(const RuleTable& table, const DependencyGraph& graph,
+                            const std::vector<bool>& cached, std::uint32_t idx) {
+  Marginal m;
+  if (!cached[idx]) {
+    m.new_rules.push_back(idx);
+  }
+  for (const auto anc : ancestor_closure(graph, idx)) {
+    if (!cached[anc]) m.new_rules.push_back(anc);
+  }
+  m.cost = m.new_rules.size();
+  for (const auto r : m.new_rules) m.gain += table.at(r).weight;
+  return m;
+}
+
+Marginal marginal_cover(const RuleTable& table, const DependencyGraph& graph,
+                        const std::vector<bool>& cached,
+                        const std::vector<bool>& shadowed, std::uint32_t idx) {
+  Marginal m;
+  if (cached[idx]) return m;  // already terminal: nothing to gain
+  m.new_rules.push_back(idx);
+  m.cost = 1;
+  for (const auto parent : graph.parents[idx]) {
+    // A shadow is needed per parent unless the parent is itself cached (its
+    // copy handles its packets terminally) or already shadowed.
+    if (!cached[parent] && !shadowed[parent]) ++m.cost;
+  }
+  // Caching a rule that is currently only a shadow replaces the shadow (the
+  // shadow would otherwise outrank the cached copy and bounce its traffic),
+  // freeing one entry.
+  if (shadowed[idx] && m.cost > 0) --m.cost;
+  m.gain = table.at(idx).weight;
+  return m;
+}
+
+}  // namespace
+
+CachePlan plan_cache(const RuleTable& table, const DependencyGraph& graph,
+                     CacheStrategy strategy, std::size_t budget) {
+  expects(strategy == CacheStrategy::kDependentSet ||
+              strategy == CacheStrategy::kCoverSet,
+          "plan_cache: strategy must be dependent-set or cover-set");
+  expects(graph.size() == table.size(), "plan_cache: graph/table size mismatch");
+
+  CachePlan plan;
+  plan.total_weight = table.total_weight();
+  std::vector<bool> cached(table.size(), false);
+  std::vector<bool> shadowed(table.size(), false);
+
+  while (plan.entries_used < budget) {
+    double best_ratio = 0.0;
+    std::uint32_t best = 0;
+    Marginal best_m;
+    bool found = false;
+    for (std::uint32_t idx = 0; idx < table.size(); ++idx) {
+      if (cached[idx]) continue;
+      const Marginal m =
+          strategy == CacheStrategy::kDependentSet
+              ? marginal_dependent(table, graph, cached, idx)
+              : marginal_cover(table, graph, cached, shadowed, idx);
+      if (m.cost == 0 || m.cost > budget - plan.entries_used) continue;
+      const double ratio = m.gain / static_cast<double>(m.cost);
+      if (!found || ratio > best_ratio) {
+        found = true;
+        best_ratio = ratio;
+        best = idx;
+        best_m = m;
+      }
+    }
+    if (!found) break;
+
+    plan.chosen.push_back(best);
+    plan.entries_used += best_m.cost;
+    plan.covered_weight += best_m.gain;
+    if (strategy == CacheStrategy::kDependentSet) {
+      for (const auto r : best_m.new_rules) cached[r] = true;
+    } else {
+      cached[best] = true;
+      shadowed[best] = false;  // its shadow (if any) is replaced by the copy
+      for (const auto parent : graph.parents[best]) {
+        if (!cached[parent]) shadowed[parent] = true;
+      }
+    }
+  }
+  return plan;
+}
+
+std::vector<Rule> materialize_plan(const RuleTable& table, const DependencyGraph& graph,
+                                   const CachePlan& plan, CacheStrategy strategy,
+                                   SwitchId authority_switch, RuleId synth_id_base) {
+  std::vector<std::optional<Rule>> slots;
+  std::vector<bool> emitted(table.size(), false);
+  // shadow_slot[p]: index in `slots` of p's shadow, if one is live.
+  std::vector<std::optional<std::size_t>> shadow_slot(table.size());
+  RuleId next_id = synth_id_base;
+  auto emit = [&](std::uint32_t idx) {
+    if (emitted[idx]) return;
+    emitted[idx] = true;
+    // A cached copy supersedes (and must replace) the rule's own shadow:
+    // the shadow would outrank the copy and bounce its traffic.
+    if (shadow_slot[idx].has_value()) {
+      slots[*shadow_slot[idx]].reset();
+      shadow_slot[idx].reset();
+    }
+    slots.push_back(table.at(idx));
+  };
+  for (const auto idx : plan.chosen) {
+    emit(idx);
+    if (strategy == CacheStrategy::kDependentSet) {
+      for (const auto anc : ancestor_closure(graph, idx)) emit(anc);
+    } else {
+      for (const auto parent : graph.parents[idx]) {
+        if (emitted[parent]) continue;              // cached copy protects itself
+        if (shadow_slot[parent].has_value()) continue;  // already shadowed
+        Rule shadow;
+        shadow.id = next_id++;
+        expects(table.at(parent).priority < std::numeric_limits<Priority>::max(),
+                "materialize_plan: parent priority has no headroom");
+        shadow.priority = table.at(parent).priority + 1;
+        shadow.match = table.at(parent).match;
+        shadow.action = Action::encap(authority_switch);
+        shadow.origin = table.at(parent).origin_or_self();
+        shadow_slot[parent] = slots.size();
+        slots.push_back(std::move(shadow));
+      }
+    }
+  }
+  std::vector<Rule> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) {
+    if (slot.has_value()) out.push_back(std::move(*slot));
+  }
+  return out;
+}
+
+}  // namespace difane

@@ -1,0 +1,46 @@
+// Offline cache planning (extension): given a rule table with traffic
+// weights and a TCAM budget, choose which rules to pin in the cache so the
+// expected hit rate is maximized, respecting splice semantics:
+//
+//  * dependent-set: caching a rule requires its whole dependency closure;
+//    every member cached is itself a terminal hit for its own traffic.
+//  * cover-set: caching a rule costs the rule plus one shadow per immediate
+//    parent not already shadowed; only the rule's own traffic terminates.
+//
+// The exact problem is an ILP (set-union knapsack); this uses the standard
+// greedy weight/cost heuristic. It is both a controller feature (pre-warm
+// the caches before traffic arrives) and the analytic model behind the
+// cache-effectiveness experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cache.hpp"
+#include "flowspace/dependency.hpp"
+
+namespace difane {
+
+struct CachePlan {
+  std::vector<std::uint32_t> chosen;   // table indices, selection order
+  std::size_t entries_used = 0;        // TCAM entries (rules + shadows)
+  double covered_weight = 0.0;         // Σ weight of traffic that will hit
+  double total_weight = 0.0;
+  double expected_hit_rate() const {
+    return total_weight > 0.0 ? covered_weight / total_weight : 0.0;
+  }
+};
+
+// Plan a cache for `table` under `budget` entries. `strategy` must be
+// kDependentSet or kCoverSet (microflow caching has no offline plan: its
+// entries are per-flow, not per-rule).
+CachePlan plan_cache(const RuleTable& table, const DependencyGraph& graph,
+                     CacheStrategy strategy, std::size_t budget);
+
+// Materialize the plan as installable cache rules (shadows redirect to
+// `authority_switch`; synthetic ids from `synth_id_base`).
+std::vector<Rule> materialize_plan(const RuleTable& table, const DependencyGraph& graph,
+                                   const CachePlan& plan, CacheStrategy strategy,
+                                   SwitchId authority_switch, RuleId synth_id_base);
+
+}  // namespace difane

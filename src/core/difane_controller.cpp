@@ -1,0 +1,130 @@
+#include "core/difane_controller.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+#include "util/log.hpp"
+
+namespace difane {
+
+DifaneController::DifaneController(Network& net, const RuleTable& policy,
+                                   std::vector<SwitchId> authority_switches,
+                                   DifaneControllerParams params)
+    : net_(net),
+      policy_(policy),
+      authority_switches_(std::move(authority_switches)),
+      params_(params),
+      plan_(Partitioner(params.partitioner)
+                .build(policy, static_cast<std::uint32_t>(authority_switches_.size()))) {
+  expects(!authority_switches_.empty(), "DifaneController: need authority switches");
+  for (const auto sw : authority_switches_) {
+    nodes_.emplace(sw, std::make_unique<AuthorityNode>(sw, params_.cache_strategy,
+                                                       params_.max_splice_cost));
+  }
+  params_.replicas = std::max<std::uint32_t>(
+      1, std::min<std::uint32_t>(params_.replicas,
+                                 static_cast<std::uint32_t>(authority_switches_.size())));
+  // Bind each partition to its replica set (primary + ring successors) and
+  // its backup. Each binding gets a disjoint synthetic-id range.
+  RuleId synth_base = params_.synth_id_base;
+  for (const auto& partition : plan_.partitions()) {
+    std::vector<AuthorityIndex> serving;
+    for (std::uint32_t r = 0; r < params_.replicas; ++r) {
+      serving.push_back((partition.primary + r) %
+                        static_cast<AuthorityIndex>(authority_switches_.size()));
+    }
+    if (std::find(serving.begin(), serving.end(), partition.backup) ==
+        serving.end()) {
+      serving.push_back(partition.backup);
+    }
+    for (const auto index : serving) {
+      nodes_.at(authority_switch(index))->bind(partition, synth_base);
+      synth_base += params_.synth_id_stride;
+    }
+  }
+}
+
+SwitchId DifaneController::replica_for(const Partition& partition, SwitchId sw) const {
+  const auto k = static_cast<AuthorityIndex>(authority_switches_.size());
+  // Try the replica set in hash order, skipping failed switches.
+  for (std::uint32_t probe = 0; probe < params_.replicas; ++probe) {
+    const auto index = (partition.primary + (sw + partition.id + probe) %
+                                                params_.replicas) %
+                       k;
+    const SwitchId candidate = authority_switch(index);
+    if (!net_.sw(candidate).failed()) return candidate;
+  }
+  return authority_switch(partition.backup);
+}
+
+AuthorityNode* DifaneController::node_at(SwitchId sw) {
+  const auto it = nodes_.find(sw);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+void DifaneController::install_authority_rules() {
+  const auto k = static_cast<AuthorityIndex>(authority_switches_.size());
+  for (const auto& partition : plan_.partitions()) {
+    std::vector<AuthorityIndex> serving;
+    for (std::uint32_t r = 0; r < params_.replicas; ++r) {
+      serving.push_back((partition.primary + r) % k);
+    }
+    if (std::find(serving.begin(), serving.end(), partition.backup) ==
+        serving.end()) {
+      serving.push_back(partition.backup);
+    }
+    for (const auto role : serving) {
+      Switch& sw = net_.sw(authority_switch(role));
+      for (const auto& rule : partition.rules.rules()) {
+        sw.table().install(rule, Band::kAuthority, net_.engine().now());
+      }
+    }
+  }
+}
+
+void DifaneController::install_partition_rules() {
+  auto rules = plan_.make_partition_rules(params_.partition_rule_priority,
+                                          params_.partition_rule_id_base);
+  for (SwitchId id = 0; id < net_.switch_count(); ++id) {
+    Switch& sw = net_.sw(id);
+    if (sw.failed()) continue;
+    for (std::size_t p = 0; p < rules.size(); ++p) {
+      // Per-switch replica selection: different ingresses spread their
+      // redirects for the same partition across the live replicas.
+      Rule rule = rules[p];
+      rule.action = Action::encap(replica_for(plan_.partitions()[p], id));
+      sw.table().install(rule, Band::kPartition, net_.engine().now());
+    }
+  }
+}
+
+void DifaneController::install_all() {
+  install_authority_rules();
+  install_partition_rules();
+}
+
+std::size_t DifaneController::handle_authority_failure(SwitchId failed) {
+  AuthorityIndex failed_index = 0;
+  bool found = false;
+  for (AuthorityIndex i = 0; i < authority_switches_.size(); ++i) {
+    if (authority_switches_[i] == failed) {
+      failed_index = i;
+      found = true;
+      break;
+    }
+  }
+  expects(found, "handle_authority_failure: not an authority switch");
+
+  std::size_t repointed = 0;
+  for (const auto& partition : plan_.partitions()) {
+    if (partition.primary == failed_index) ++repointed;
+  }
+  plan_.fail_over(failed_index);
+  // Partition rules carry the same ids, so reinstalling refreshes the encap
+  // target in place at every live switch.
+  install_partition_rules();
+  log_info("failover: re-pointed ", repointed, " partitions away from switch ", failed);
+  return repointed;
+}
+
+}  // namespace difane

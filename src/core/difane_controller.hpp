@@ -1,0 +1,83 @@
+// The DIFANE controller. Proactive and off the packet path: it partitions
+// the policy, installs authority rules at the authority switches (primary
+// and backup), installs partition rules at every switch, and — on authority
+// failure — re-points the affected partition rules at the backups. After
+// setup, no packet ever visits the controller; that is the paper's thesis.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/authority.hpp"
+#include "netsim/topology.hpp"
+#include "partition/partitioner.hpp"
+
+namespace difane {
+
+struct DifaneControllerParams {
+  PartitionerParams partitioner;
+  CacheStrategy cache_strategy = CacheStrategy::kDependentSet;
+  // Rules whose splice set exceeds this degrade to microflow caching.
+  std::size_t max_splice_cost = 32;
+  // Each partition is served by this many authority switches (primary plus
+  // ring successors), and ingress switches spread their redirects across the
+  // live replicas. Replication is DIFANE's answer to hot partitions: one
+  // busy region of flow space need not bottleneck on one switch. Clamped to
+  // the number of authority switches.
+  std::uint32_t replicas = 1;
+  Priority partition_rule_priority = 0;
+  RuleId partition_rule_id_base = 0x20000000u;
+  RuleId synth_id_base = 0x40000000u;
+  RuleId synth_id_stride = 1u << 22;  // id space per partition binding
+};
+
+class DifaneController {
+ public:
+  // Partitions `policy` across `authority_switches` (k = list size) and
+  // remembers the bindings. Call install_all() to push rules into `net`.
+  DifaneController(Network& net, const RuleTable& policy,
+                   std::vector<SwitchId> authority_switches,
+                   DifaneControllerParams params);
+
+  // Install authority rules (primary + backup copies) and partition rules
+  // everywhere. Idempotent.
+  void install_all();
+
+  const PartitionPlan& plan() const { return plan_; }
+  const std::vector<SwitchId>& authority_switches() const { return authority_switches_; }
+  SwitchId authority_switch(AuthorityIndex index) const {
+    return authority_switches_.at(index);
+  }
+
+  // The control logic living at an authority switch, or nullptr.
+  AuthorityNode* node_at(SwitchId sw);
+
+  // React to an authority switch failure: flip affected partitions to their
+  // backups and reinstall partition rules at every live switch (pointing
+  // only at live replicas). Returns the number of partitions re-pointed.
+  std::size_t handle_authority_failure(SwitchId failed);
+
+  // The authority switch that ingress `sw` should redirect to for
+  // `partition`: a live replica chosen by (switch, partition) hash so load
+  // spreads; falls back to the backup when every replica is down.
+  SwitchId replica_for(const Partition& partition, SwitchId sw) const;
+
+  // Total partition-band entries installed per switch (they are identical
+  // across switches: one rule per partition).
+  std::size_t partition_rules_per_switch() const { return plan_.partitions().size(); }
+
+ private:
+  void install_partition_rules();
+  void install_authority_rules();
+
+  Network& net_;
+  const RuleTable& policy_;
+  std::vector<SwitchId> authority_switches_;
+  DifaneControllerParams params_;
+  PartitionPlan plan_;
+  std::unordered_map<SwitchId, std::unique_ptr<AuthorityNode>> nodes_;
+};
+
+}  // namespace difane

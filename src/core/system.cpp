@@ -1,0 +1,358 @@
+#include "core/system.hpp"
+
+#include "util/contract.hpp"
+#include "util/log.hpp"
+
+namespace difane {
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kDifane: return "difane";
+    case Mode::kNox: return "nox";
+  }
+  return "?";
+}
+
+Scenario::Scenario(RuleTable policy, ScenarioParams params)
+    : policy_(std::move(policy)), params_(params) {
+  switch (params_.topology) {
+    case TopologyKind::kTwoTier:
+      topo_ = build_two_tier(net_, params_.edge_switches, params_.core_switches,
+                             params_.edge_cache_capacity,
+                             /*core cache=*/params_.edge_cache_capacity,
+                             params_.link);
+      break;
+    case TopologyKind::kLine: {
+      expects(params_.core_switches >= 1 &&
+                  params_.core_switches <= params_.edge_switches,
+              "Scenario: line needs 1..N authority positions");
+      const auto line = build_line(net_, params_.edge_switches,
+                                   params_.edge_cache_capacity, params_.link);
+      topo_.edge = line;
+      // Authority nodes evenly spaced along the chain (midpoints of k
+      // equal segments), so the worst detour is ~one segment.
+      for (std::size_t i = 0; i < params_.core_switches; ++i) {
+        const std::size_t pos = (2 * i + 1) * line.size() / (2 * params_.core_switches);
+        topo_.core.push_back(line[std::min(pos, line.size() - 1)]);
+      }
+      break;
+    }
+  }
+  switch (params_.mode) {
+    case Mode::kDifane: {
+      expects(params_.authority_count >= 1 &&
+                  params_.authority_count <= params_.core_switches,
+              "Scenario: authority_count must fit in the core tier");
+      std::vector<SwitchId> authorities(topo_.core.begin(),
+                                        topo_.core.begin() + params_.authority_count);
+      DifaneControllerParams cp;
+      cp.partitioner = params_.partitioner;
+      cp.cache_strategy = params_.cache_strategy;
+      cp.max_splice_cost = params_.max_splice_cost;
+      cp.replicas = params_.authority_replicas;
+      difane_ = std::make_unique<DifaneController>(net_, policy_, authorities, cp);
+      difane_->install_all();
+      for (const auto sw : authorities) {
+        authority_queues_.emplace(
+            sw, ServiceQueue(params_.timings.authority_service,
+                             params_.timings.authority_backlog_max));
+      }
+      break;
+    }
+    case Mode::kNox: {
+      nox_ = std::make_unique<NoxControlPlane>(policy_, params_.nox);
+      break;
+    }
+  }
+  // Control agents + install channels for every switch. Cache installs (from
+  // authority switches or the NOX controller) go through these so they pay
+  // propagation latency plus the per-flow-mod apply cost, in order.
+  for (SwitchId id = 0; id < net_.switch_count(); ++id) {
+    agents_.push_back(std::make_unique<SwitchAgent>(net_.engine(), net_.sw(id)));
+    const double latency = params_.mode == Mode::kDifane
+                               ? params_.timings.cache_install_latency
+                               : params_.nox.one_way_latency;
+    install_channels_.push_back(
+        std::make_unique<ControlChannel>(net_.engine(), *agents_.back(), latency));
+  }
+}
+
+std::vector<FlowStatsEntry> Scenario::query_flow_stats() const {
+  std::vector<std::vector<FlowStatsEntry>> per_switch;
+  per_switch.reserve(net_.switch_count());
+  for (SwitchId id = 0; id < net_.switch_count(); ++id) {
+    per_switch.push_back(collect_stats(net_.sw(id)));
+  }
+  return merge_stats(per_switch);
+}
+
+const ScenarioStats& Scenario::run(const std::vector<FlowSpec>& flows) {
+  for (const auto& flow : flows) inject(flow);
+  net_.engine().run();
+  ensures(stats_.tracer.in_flight() == 0,
+          "Scenario: packets unaccounted for after the run");
+  return stats_;
+}
+
+void Scenario::inject(const FlowSpec& flow) {
+  const SwitchId ingress = ingress_switch(flow.ingress_index);
+  for (std::size_t p = 0; p < flow.packets; ++p) {
+    Packet pkt;
+    pkt.flow = flow.id;
+    pkt.header = flow.header;
+    pkt.created = flow.start + static_cast<double>(p) * flow.packet_gap;
+    pkt.ingress = ingress;
+    pkt.is_first_of_flow = (p == 0);
+    net_.engine().at(pkt.created, [this, ingress, pkt]() {
+      stats_.tracer.on_injected(pkt);
+      process(ingress, pkt);
+    });
+  }
+}
+
+void Scenario::dispose(const Packet& pkt, bool delivered, DropReason reason) {
+  const double now = net_.engine().now();
+  if (delivered) {
+    stats_.tracer.on_delivered(pkt, now);
+  } else {
+    stats_.tracer.on_dropped(pkt, reason);
+  }
+  // Flow setup completes when the first packet reaches its policy-mandated
+  // disposition (delivery or an explicit policy drop). Losses from overload
+  // or failures are not completions.
+  if (pkt.is_first_of_flow && (delivered || reason == DropReason::kPolicyDrop)) {
+    stats_.setup_completions.record(now);
+  }
+}
+
+void Scenario::process(SwitchId at, Packet pkt) {
+  Switch& sw = net_.sw(at);
+  if (sw.failed()) {
+    dispose(pkt, false, DropReason::kSwitchFailed);
+    return;
+  }
+  // In-flight tunnels bypass the policy tables at transit switches.
+  if (pkt.encap_target.has_value()) {
+    if (*pkt.encap_target == at) {
+      handle_authority(at, pkt);
+    } else {
+      forward_hop(at, *pkt.encap_target, pkt);
+    }
+    return;
+  }
+  if (pkt.tunnel_egress.has_value()) {
+    if (*pkt.tunnel_egress == at) {
+      deliver(at, pkt);
+    } else {
+      forward_hop(at, *pkt.tunnel_egress, pkt);
+    }
+    return;
+  }
+  const double now = net_.engine().now();
+  const FlowEntry* entry = sw.table().lookup(pkt.header, now, pkt.bytes);
+  if (entry == nullptr) {
+    if (params_.mode == Mode::kNox && at == pkt.ingress) {
+      punt_to_controller(pkt);
+    } else {
+      dispose(pkt, false, DropReason::kNoRule);
+    }
+    return;
+  }
+  // Ingress-side cache accounting (first lookup of the packet only).
+  if (at == pkt.ingress && pkt.hops == 0 && !pkt.was_redirected) {
+    if (entry->band == Band::kCache) {
+      ++stats_.ingress_cache_hits;
+    } else if (entry->band == Band::kAuthority) {
+      ++stats_.ingress_local_hits;
+    }
+  }
+  if (params_.verify_cache_hits && entry->band == Band::kCache &&
+      entry->rule.action.type != ActionType::kEncap) {
+    const Rule* want = policy_.match(pkt.header);
+    if (want != nullptr && entry->rule.origin_or_self() != want->id) {
+      ++stats_.cache_hit_mismatches;
+      if (stats_.cache_hit_mismatches <= 5) {
+        log_warn("cache-hit mismatch at switch ", at, ": hit ",
+                 entry->rule.to_string(), " (origin ", entry->rule.origin_or_self(),
+                 ") want ", want->to_string());
+      }
+    }
+  }
+  apply_action(at, pkt, entry->rule.action);
+}
+
+void Scenario::handle_authority(SwitchId at, Packet pkt) {
+  const double now = net_.engine().now();
+  auto queue_it = authority_queues_.find(at);
+  expects(queue_it != authority_queues_.end(),
+          "handle_authority: redirect reached a non-authority switch");
+  const auto completion = queue_it->second.admit(now);
+  if (!completion.has_value()) {
+    ++stats_.queue_rejects;
+    dispose(pkt, false, DropReason::kControllerQueue);
+    return;
+  }
+  net_.engine().at(*completion, [this, at, pkt]() mutable {
+    AuthorityNode* node = difane_->node_at(at);
+    ensures(node != nullptr, "authority switch lost its control node");
+    pkt.encap_target.reset();
+    auto result = node->handle(pkt.header);
+    if (!result.has_value()) {
+      // Misdirected (e.g. stale partition rules during failover).
+      dispose(pkt, false, DropReason::kUnreachable);
+      return;
+    }
+    if (!result->install.rules.empty() && pkt.ingress != at) {
+      install_cache(pkt.ingress, result->install);
+    }
+    if (result->winner == nullptr) {
+      dispose(pkt, false, DropReason::kNoRule);
+      return;
+    }
+    // Credit the hit to this switch's installed authority-band copy so
+    // per-policy-rule counters stay exact (transparency).
+    net_.sw(at).table().hit(result->winner->id, Band::kAuthority,
+                            net_.engine().now(), pkt.bytes);
+    apply_action(at, pkt, result->winner->action);
+  });
+}
+
+void Scenario::install_cache(SwitchId ingress, const CacheInstall& install) {
+  // A group that cannot fit would evict its own members while installing,
+  // leaving an unprotected rule behind; skip it (the flow keeps taking the
+  // redirect path, which is always correct).
+  if (install.rules.size() > params_.edge_cache_capacity) return;
+  ++stats_.cache_installs;
+  stats_.cache_rules_installed += install.rules.size();
+  // Protectors first: until the lowest-priority member lands, a partially
+  // installed group only over-redirects, never mis-forwards.
+  auto ordered = install.rules;
+  std::sort(ordered.begin(), ordered.end(), rule_before);
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    FlowMod mod;
+    mod.op = FlowModOp::kAdd;
+    mod.band = Band::kCache;
+    mod.rule = ordered[i];
+    mod.idle_timeout = params_.timings.cache_idle_timeout;
+    // Every earlier (higher-priority) group member protects this one: if any
+    // of them leaves the cache, this entry must leave too. Redirect entries
+    // are self-safe and guard nothing of their own.
+    if (ordered[i].action.type != ActionType::kEncap) {
+      for (std::size_t g = 0; g < i; ++g) mod.guards.push_back(ordered[g].id);
+    }
+    install_channels_[ingress]->send(mod);
+  }
+}
+
+void Scenario::punt_to_controller(Packet pkt) {
+  const double arrival = net_.engine().now() + params_.nox.one_way_latency;
+  net_.engine().at(arrival, [this, pkt]() mutable {
+    const auto decision = nox_->handle_punt(net_.engine().now(), pkt.header);
+    if (!decision.has_value()) {
+      ++stats_.queue_rejects;
+      dispose(pkt, false, DropReason::kControllerQueue);
+      return;
+    }
+    net_.engine().at(decision->ready_time, [this, pkt, decision]() mutable {
+      if (decision->winner == nullptr) {
+        dispose(pkt, false, DropReason::kNoRule);
+        return;
+      }
+      const Action action = decision->winner->action;
+      // The microflow install rides the control channel back to the ingress
+      // (one-way latency + flow-mod apply cost, in order)...
+      if (decision->cache_rule.has_value()) {
+        FlowMod mod;
+        mod.op = FlowModOp::kAdd;
+        mod.band = Band::kCache;
+        mod.rule = *decision->cache_rule;
+        mod.idle_timeout = params_.timings.cache_idle_timeout;
+        install_channels_[pkt.ingress]->send(mod);
+      }
+      // ...while the packet-out resumes the packet at the ingress switch.
+      net_.engine().after(params_.nox.one_way_latency, [this, pkt, action]() mutable {
+        Switch& sw = net_.sw(pkt.ingress);
+        if (sw.failed()) {
+          dispose(pkt, false, DropReason::kSwitchFailed);
+          return;
+        }
+        apply_action(pkt.ingress, pkt, action);
+      });
+    });
+  });
+}
+
+void Scenario::deliver(SwitchId at, Packet pkt) {
+  if (pkt.is_first_of_flow) {
+    const auto shortest = net_.distance(pkt.ingress, at);
+    const double base = shortest == 0 ? 1.0 : static_cast<double>(shortest);
+    stats_.stretch.add(static_cast<double>(std::max<std::uint32_t>(pkt.hops, 1)) / base);
+  }
+  dispose(pkt, true, DropReason::kPolicyDrop /*unused for deliveries*/);
+}
+
+void Scenario::apply_action(SwitchId at, Packet pkt, const Action& action) {
+  switch (action.type) {
+    case ActionType::kDrop:
+      dispose(pkt, false, DropReason::kPolicyDrop);
+      return;
+    case ActionType::kForward: {
+      const SwitchId egress = egress_switch(action.arg);
+      if (at == egress) {
+        deliver(at, pkt);
+        return;
+      }
+      pkt.tunnel_egress = egress;
+      forward_hop(at, egress, pkt);
+      return;
+    }
+    case ActionType::kEncap: {
+      const SwitchId target = action.arg;
+      pkt.encap_target = target;
+      if (!pkt.was_redirected) {
+        pkt.was_redirected = true;
+        ++stats_.redirects;
+      }
+      if (at == target) {
+        handle_authority(at, pkt);
+        return;
+      }
+      forward_hop(at, target, pkt);
+      return;
+    }
+    case ActionType::kToController:
+      punt_to_controller(pkt);
+      return;
+  }
+}
+
+void Scenario::forward_hop(SwitchId at, SwitchId toward, Packet pkt) {
+  if (pkt.hops >= params_.timings.ttl_hops) {
+    dispose(pkt, false, DropReason::kTtlExceeded);
+    return;
+  }
+  const SwitchId nh = net_.next_hop(at, toward);
+  if (nh == kInvalidSwitch) {
+    dispose(pkt, false, DropReason::kUnreachable);
+    return;
+  }
+  Link* link = net_.link(at, nh);
+  ensures(link != nullptr, "forward_hop: next hop without a link");
+  const double now = net_.engine().now();
+  const double delivery = link->send(now, pkt.bytes) + params_.timings.switch_proc;
+  pkt.hops += 1;
+  net_.engine().at(delivery, [this, nh, pkt]() { process(nh, pkt); });
+}
+
+void Scenario::schedule_authority_failure(SimTime when, SwitchId authority) {
+  expects(difane_ != nullptr, "schedule_authority_failure: DIFANE mode only");
+  net_.engine().at(when, [this, authority]() {
+    net_.set_failed(authority, true);
+    log_info("authority switch ", authority, " failed at t=", net_.engine().now());
+  });
+  net_.engine().at(when + params_.timings.failover_detect, [this, authority]() {
+    difane_->handle_authority_failure(authority);
+  });
+}
+
+}  // namespace difane

@@ -1,0 +1,143 @@
+// Scenario: the full simulated system. Wires a two-tier network, a policy,
+// and either the DIFANE control plane (partition + authority switches +
+// data-plane cache installs) or the NOX baseline (reactive controller), then
+// drives generated traffic through the event engine and collects the
+// measurements the paper's figures report.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/nox.hpp"
+#include "core/difane_controller.hpp"
+#include "ctrlchan/channel.hpp"
+#include "netsim/tracer.hpp"
+#include "workload/trafficgen.hpp"
+
+namespace difane {
+
+enum class Mode : std::uint8_t { kDifane = 0, kNox = 1 };
+
+const char* mode_name(Mode mode);
+
+enum class TopologyKind : std::uint8_t {
+  kTwoTier = 0,  // edge switches under a core mesh; authorities at the core
+  kLine = 1,     // a chain; every node is an edge, authorities evenly spaced
+};
+
+struct Timings {
+  double switch_proc = 1e-6;         // per-hop forwarding overhead
+  // Authority-switch miss path: ~800K flows/s per switch, the paper's
+  // single-authority-switch throughput.
+  double authority_service = 1.25e-6;
+  double authority_backlog_max = 0.01;   // redirects dropped past this backlog
+  double cache_install_latency = 2e-4;   // authority -> ingress install push
+  double cache_idle_timeout = 10.0;      // cache-band idle timeout
+  double failover_detect = 0.2;          // failure detection + re-point delay
+  std::uint32_t ttl_hops = 64;
+};
+
+struct ScenarioParams {
+  Mode mode = Mode::kDifane;
+  TopologyKind topology = TopologyKind::kTwoTier;
+  // Two-tier: edge/core counts. Line: edge_switches is the chain length and
+  // core_switches how many of those nodes host authority state.
+  std::size_t edge_switches = 4;
+  std::size_t core_switches = 2;
+  std::uint32_t authority_count = 1;   // DIFANE: first k core switches
+  std::size_t edge_cache_capacity = 1000;
+  PartitionerParams partitioner;
+  CacheStrategy cache_strategy = CacheStrategy::kDependentSet;
+  // Rules whose splice set exceeds this degrade to microflow caching
+  // (bounding how much ingress TCAM one caching decision may consume).
+  std::size_t max_splice_cost = 32;
+  // Authority switches serving each partition (hot-partition replication).
+  std::uint32_t authority_replicas = 1;
+  Timings timings;
+  NoxParams nox;
+  LinkParams link;
+  // Paranoid mode: cross-check every terminal ingress cache hit against the
+  // reference policy and log the first few mismatches. Costs a policy match
+  // per packet; for debugging and the transparency tests.
+  bool verify_cache_hits = false;
+};
+
+struct ScenarioStats {
+  Tracer tracer;
+  std::uint64_t ingress_cache_hits = 0;   // first lookup hit the cache band
+  std::uint64_t ingress_local_hits = 0;   // ingress itself was the authority
+  std::uint64_t redirects = 0;            // packets sent via an authority switch
+  std::uint64_t queue_rejects = 0;        // authority/controller overload drops
+  std::uint64_t cache_installs = 0;       // install messages sent to ingresses
+  std::uint64_t cache_rules_installed = 0;
+  std::uint64_t cache_hit_mismatches = 0; // verify_cache_hits violations
+  SampleSet stretch;                      // delivered first packets: hops / shortest
+  RateMeter setup_completions;            // first-packet dispositions per second
+  double cache_hit_fraction() const {
+    const auto total = ingress_cache_hits + ingress_local_hits + redirects;
+    return total ? static_cast<double>(ingress_cache_hits + ingress_local_hits) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+class Scenario {
+ public:
+  Scenario(RuleTable policy, ScenarioParams params);
+
+  // Inject every flow and run the engine until all events drain.
+  const ScenarioStats& run(const std::vector<FlowSpec>& flows);
+
+  // Schedule an authority switch failure at sim time `when` (DIFANE mode).
+  // The controller re-points partitions `failover_detect` later.
+  void schedule_authority_failure(SimTime when, SwitchId authority);
+
+  Network& net() { return net_; }
+  const RuleTable& policy() const { return policy_; }
+  const ScenarioStats& stats() const { return stats_; }
+  const PartitionPlan* plan() const {
+    return difane_ ? &difane_->plan() : nullptr;
+  }
+  DifaneController* difane() { return difane_.get(); }
+
+  SwitchId ingress_switch(std::uint32_t index) const {
+    return topo_.edge[index % topo_.edge.size()];
+  }
+  SwitchId egress_switch(std::uint32_t egress_index) const {
+    return topo_.edge[egress_index % topo_.edge.size()];
+  }
+
+  // Per-policy-rule counters aggregated across every switch (installed
+  // copies + retired entries). With no overload or failures, each delivered
+  // or policy-dropped packet is counted exactly once against the policy rule
+  // that owned it — the OpenFlow-transparency property.
+  std::vector<FlowStatsEntry> query_flow_stats() const;
+
+ private:
+  void inject(const FlowSpec& flow);
+  void process(SwitchId at, Packet pkt);
+  void handle_authority(SwitchId at, Packet pkt);
+  void punt_to_controller(Packet pkt);
+  void apply_action(SwitchId at, Packet pkt, const Action& action);
+  void deliver(SwitchId at, Packet pkt);
+  void forward_hop(SwitchId at, SwitchId toward_neighbor_of, Packet pkt);
+  void dispose(const Packet& pkt, bool delivered, DropReason reason);
+  void install_cache(SwitchId ingress, const CacheInstall& install);
+
+  RuleTable policy_;
+  ScenarioParams params_;
+  Network net_;
+  TwoTierTopology topo_;
+  std::unique_ptr<DifaneController> difane_;
+  std::unique_ptr<NoxControlPlane> nox_;
+  std::unordered_map<SwitchId, ServiceQueue> authority_queues_;
+  // One control agent per switch; installs ride ControlChannels so they pay
+  // propagation latency plus the switch's flow-mod apply cost, in order.
+  std::vector<std::unique_ptr<SwitchAgent>> agents_;
+  std::vector<std::unique_ptr<ControlChannel>> install_channels_;
+  ScenarioStats stats_;
+};
+
+}  // namespace difane

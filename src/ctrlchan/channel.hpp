@@ -1,0 +1,45 @@
+// Control channel: transports requests to a switch agent and replies back,
+// each direction paying a propagation latency. DIFANE uses such channels in
+// two places — controller -> switch for proactive installs, and authority
+// switch -> ingress switch for cache installs (the latter rides the data
+// plane, so its latency is a link latency, not a controller RTT).
+#pragma once
+
+#include "ctrlchan/switch_agent.hpp"
+
+namespace difane {
+
+class ControlChannel {
+ public:
+  ControlChannel(Engine& engine, SwitchAgent& agent, double one_way_latency)
+      : engine_(engine), agent_(agent), latency_(one_way_latency) {
+    expects(one_way_latency >= 0.0, "ControlChannel: negative latency");
+  }
+
+  // Send a request; if `on_reply` is given it fires at the sender side after
+  // the reply has travelled back.
+  void send(Request request, SwitchAgent::ReplyHandler on_reply = {}) {
+    ++sent_;
+    engine_.after(latency_, [this, request = std::move(request),
+                             on_reply = std::move(on_reply)]() {
+      SwitchAgent::ReplyHandler wrapped;
+      if (on_reply) {
+        wrapped = [this, on_reply](const Reply& reply) {
+          engine_.after(latency_, [on_reply, reply]() { on_reply(reply); });
+        };
+      }
+      agent_.deliver(request, std::move(wrapped));
+    });
+  }
+
+  double latency() const { return latency_; }
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  Engine& engine_;
+  SwitchAgent& agent_;
+  double latency_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace difane

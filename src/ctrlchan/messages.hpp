@@ -1,0 +1,85 @@
+// OpenFlow-1.0-flavored control messages. DIFANE's promise is that the
+// controller (and authority switches) manage switch state through ordinary
+// flow-table messages — no new switch hardware. This module models the
+// message vocabulary the paper relies on: flow modifications, packet
+// injection, barriers (ordering), and flow-statistics queries whose answers
+// aggregate per *policy* rule even when the rule was clipped into many
+// installed copies.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "switchsim/flow_table.hpp"
+
+namespace difane {
+
+using Xid = std::uint32_t;  // transaction id echoed in replies
+
+enum class FlowModOp : std::uint8_t { kAdd = 0, kModify, kDelete };
+
+struct FlowMod {
+  Xid xid = 0;
+  FlowModOp op = FlowModOp::kAdd;
+  Band band = Band::kCache;
+  Rule rule;                  // for kDelete only rule.id is consulted
+  double idle_timeout = 0.0;  // cache band only
+  double hard_timeout = 0.0;
+  // Protector entries this rule depends on (see FlowEntry::guards).
+  std::vector<RuleId> guards;
+};
+
+// Inject a packet at the switch as if it arrived on a port (the NOX
+// packet-out used to resume a punted packet).
+struct PacketOut {
+  Xid xid = 0;
+  BitVec header;
+  std::uint32_t bytes = 100;
+  Action action;  // the action the controller decided on
+};
+
+// Process all previously received messages before replying.
+struct BarrierRequest {
+  Xid xid = 0;
+};
+
+// Ask for counters. `origin` filters by the origin (policy) rule id;
+// kInvalidRuleId means "everything".
+struct FlowStatsRequest {
+  Xid xid = 0;
+  RuleId origin = kInvalidRuleId;
+};
+
+using Request = std::variant<FlowMod, PacketOut, BarrierRequest, FlowStatsRequest>;
+
+// ---- replies -------------------------------------------------------------
+
+struct FlowModReply {
+  Xid xid = 0;
+  bool ok = false;
+};
+
+struct BarrierReply {
+  Xid xid = 0;
+};
+
+// One row per distinct origin rule: counters summed over every installed
+// copy (clipped partitions copies, microflow entries, shadow rules), so the
+// controller sees exactly the per-policy-rule counters it would have seen
+// with one giant table. This is the transparency property.
+struct FlowStatsEntry {
+  RuleId origin = kInvalidRuleId;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t installed_copies = 0;
+};
+
+struct FlowStatsReply {
+  Xid xid = 0;
+  std::vector<FlowStatsEntry> entries;
+};
+
+using Reply = std::variant<FlowModReply, BarrierReply, FlowStatsReply>;
+
+}  // namespace difane

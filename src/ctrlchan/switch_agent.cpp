@@ -1,0 +1,116 @@
+#include "ctrlchan/switch_agent.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace difane {
+
+double SwitchAgent::admit(double cost) {
+  const double now = engine_.now();
+  const double start = std::max(next_free_, now);
+  next_free_ = start + cost;
+  return next_free_;
+}
+
+void SwitchAgent::deliver(const Request& request, ReplyHandler on_reply) {
+  const double cost = std::visit(
+      [&](const auto& msg) -> double {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, FlowMod>) return params_.flow_mod_cost;
+        if constexpr (std::is_same_v<T, PacketOut>) return params_.packet_out_cost;
+        if constexpr (std::is_same_v<T, FlowStatsRequest>) return params_.stats_cost;
+        return 0.0;  // barriers only wait for the pipeline to drain
+      },
+      request);
+  const double done = admit(cost);
+  engine_.at(done, [this, request, on_reply = std::move(on_reply)]() {
+    apply(request, on_reply);
+  });
+}
+
+void SwitchAgent::apply(const Request& request, const ReplyHandler& on_reply) {
+  ++applied_;
+  const double now = engine_.now();
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, FlowMod>) {
+          bool ok = false;
+          switch (msg.op) {
+            case FlowModOp::kAdd:
+            case FlowModOp::kModify:
+              ok = switch_.table().install(msg.rule, msg.band, now, msg.idle_timeout,
+                                           msg.hard_timeout, msg.guards);
+              break;
+            case FlowModOp::kDelete:
+              ok = switch_.table().remove(msg.rule.id, msg.band);
+              break;
+          }
+          if (on_reply) on_reply(FlowModReply{msg.xid, ok});
+        } else if constexpr (std::is_same_v<T, PacketOut>) {
+          if (packet_out_) packet_out_(msg);
+        } else if constexpr (std::is_same_v<T, BarrierRequest>) {
+          // All earlier messages were applied before this event fired (the
+          // pipeline cursor serialized them), so the barrier holds.
+          if (on_reply) on_reply(BarrierReply{msg.xid});
+        } else if constexpr (std::is_same_v<T, FlowStatsRequest>) {
+          if (on_reply) {
+            FlowStatsReply reply;
+            reply.xid = msg.xid;
+            reply.entries = collect_stats(switch_, msg.origin);
+            on_reply(reply);
+          }
+        }
+      },
+      request);
+}
+
+std::vector<FlowStatsEntry> collect_stats(const Switch& sw, RuleId origin_filter) {
+  std::map<RuleId, FlowStatsEntry> by_origin;
+  for (const auto band : {Band::kCache, Band::kAuthority}) {
+    for (const auto& entry : sw.table().entries(band)) {
+      // Redirect plumbing (partition band, shadow/encap rules) is excluded:
+      // those hits are counted again at the authority switch's policy rule.
+      if (entry.rule.action.type == ActionType::kEncap) continue;
+      const RuleId origin = entry.rule.origin_or_self();
+      if (origin_filter != kInvalidRuleId && origin != origin_filter) continue;
+      auto& row = by_origin[origin];
+      row.origin = origin;
+      row.packets += entry.packets;
+      row.bytes += entry.bytes;
+      row.installed_copies += 1;
+    }
+  }
+  // Counters that left the table with evicted/expired/deleted entries.
+  for (const auto& [origin, counters] : sw.table().retired()) {
+    if (origin_filter != kInvalidRuleId && origin != origin_filter) continue;
+    auto& row = by_origin[origin];
+    row.origin = origin;
+    row.packets += counters.packets;
+    row.bytes += counters.bytes;
+  }
+  std::vector<FlowStatsEntry> out;
+  out.reserve(by_origin.size());
+  for (auto& [origin, row] : by_origin) out.push_back(row);
+  return out;
+}
+
+std::vector<FlowStatsEntry> merge_stats(
+    const std::vector<std::vector<FlowStatsEntry>>& per_switch) {
+  std::map<RuleId, FlowStatsEntry> by_origin;
+  for (const auto& rows : per_switch) {
+    for (const auto& row : rows) {
+      auto& acc = by_origin[row.origin];
+      acc.origin = row.origin;
+      acc.packets += row.packets;
+      acc.bytes += row.bytes;
+      acc.installed_copies += row.installed_copies;
+    }
+  }
+  std::vector<FlowStatsEntry> out;
+  out.reserve(by_origin.size());
+  for (auto& [origin, row] : by_origin) out.push_back(row);
+  return out;
+}
+
+}  // namespace difane

@@ -1,0 +1,66 @@
+// The switch-local control agent: receives control messages, applies them to
+// the switch's flow table in arrival order, and emits replies. Message
+// processing takes time (a real switch's flow-mod path is ~ms-scale), which
+// is what makes barriers meaningful: a BarrierReply is issued only after
+// every earlier message has been *applied*, not merely received.
+#pragma once
+
+#include <functional>
+
+#include "ctrlchan/messages.hpp"
+#include "netsim/engine.hpp"
+#include "switchsim/sw.hpp"
+
+namespace difane {
+
+struct SwitchAgentParams {
+  double flow_mod_cost = 1e-4;   // apply time per flow-mod (typical ~0.1-1ms)
+  double stats_cost = 5e-4;      // walking the table for counters
+  double packet_out_cost = 1e-5;
+};
+
+class SwitchAgent {
+ public:
+  using ReplyHandler = std::function<void(const Reply&)>;
+  // Invoked when a PacketOut is applied: the embedding system decides what
+  // "executing the action at this switch" means (forwarding lives in core/).
+  using PacketOutHandler = std::function<void(const PacketOut&)>;
+
+  SwitchAgent(Engine& engine, Switch& sw, SwitchAgentParams params = {})
+      : engine_(engine), switch_(sw), params_(params) {}
+
+  // Deliver a request to the agent (already transported; the channel adds
+  // propagation latency). Requests are applied in delivery order; the reply
+  // is emitted through `on_reply` when the request finishes applying.
+  void deliver(const Request& request, ReplyHandler on_reply = {});
+
+  void set_packet_out_handler(PacketOutHandler handler) {
+    packet_out_ = std::move(handler);
+  }
+
+  Switch& attached_switch() { return switch_; }
+  std::uint64_t applied() const { return applied_; }
+
+ private:
+  double admit(double cost);
+  void apply(const Request& request, const ReplyHandler& on_reply);
+
+  Engine& engine_;
+  Switch& switch_;
+  SwitchAgentParams params_;
+  PacketOutHandler packet_out_;
+  double next_free_ = 0.0;  // serialization of the agent's control pipeline
+  std::uint64_t applied_ = 0;
+};
+
+// Aggregate counters per origin rule across one switch's whole table.
+// Copies (partition clippings, shadow rules, microflow entries) fold into
+// their origin; rules with no origin report under their own id.
+std::vector<FlowStatsEntry> collect_stats(const Switch& sw,
+                                          RuleId origin_filter = kInvalidRuleId);
+
+// Merge stats rows from several switches (same origin folds together).
+std::vector<FlowStatsEntry> merge_stats(
+    const std::vector<std::vector<FlowStatsEntry>>& per_switch);
+
+}  // namespace difane

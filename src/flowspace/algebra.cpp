@@ -1,0 +1,84 @@
+#include "flowspace/algebra.hpp"
+
+namespace difane {
+
+std::optional<std::vector<Ternary>> winner_region(const RuleTable& table,
+                                                  std::size_t idx,
+                                                  std::size_t max_pieces) {
+  expects(idx < table.size(), "winner_region: index out of range");
+  std::vector<Ternary> higher;
+  higher.reserve(idx);
+  for (std::size_t i = 0; i < idx; ++i) higher.push_back(table.at(i).match);
+  return subtract_all(table.at(idx).match, higher, max_pieces);
+}
+
+RuleTable clip_table(const RuleTable& table, const Ternary& region) {
+  std::vector<Rule> clipped;
+  clipped.reserve(table.size());
+  for (const auto& rule : table.rules()) {
+    if (auto inter = intersect(rule.match, region)) {
+      Rule copy = rule;
+      copy.match = *inter;
+      clipped.push_back(std::move(copy));
+    }
+  }
+  return RuleTable(std::move(clipped));
+}
+
+namespace {
+
+// Compare winner actions for one packet. Matching *no* rule is itself an
+// observable outcome and must agree.
+bool same_winner(const RuleTable& a, const RuleTable& b, const BitVec& packet) {
+  const Rule* ra = a.match(packet);
+  const Rule* rb = b.match(packet);
+  if ((ra == nullptr) != (rb == nullptr)) return false;
+  if (ra == nullptr) return true;
+  return ra->action == rb->action;
+}
+
+BitVec biased_sample(const RuleTable& table, Rng& rng) {
+  if (table.empty()) return Ternary::wildcard().sample_point(rng);
+  const auto idx = rng.uniform(0, table.size() - 1);
+  return table.at(idx).match.sample_point(rng);
+}
+
+}  // namespace
+
+std::optional<BitVec> find_semantic_difference(const RuleTable& a, const RuleTable& b,
+                                               Rng& rng, std::size_t samples) {
+  for (std::size_t i = 0; i < samples; ++i) {
+    const BitVec packet = (i % 2 == 0) ? Ternary::wildcard().sample_point(rng)
+                                       : biased_sample(a, rng);
+    if (!same_winner(a, b, packet)) return packet;
+  }
+  return std::nullopt;
+}
+
+std::optional<BitVec> find_semantic_difference_in(const RuleTable& a,
+                                                  const RuleTable& b,
+                                                  const Ternary& region, Rng& rng,
+                                                  std::size_t samples) {
+  for (std::size_t i = 0; i < samples; ++i) {
+    BitVec packet;
+    if (i % 2 == 0) {
+      packet = region.sample_point(rng);
+    } else {
+      // Bias inside rules of `a` clipped to the region so specific rules are hit.
+      const auto idx = a.empty() ? 0 : rng.uniform(0, a.size() - 1);
+      if (!a.empty()) {
+        if (auto inter = intersect(a.at(idx).match, region)) {
+          packet = inter->sample_point(rng);
+        } else {
+          packet = region.sample_point(rng);
+        }
+      } else {
+        packet = region.sample_point(rng);
+      }
+    }
+    if (!same_winner(a, b, packet)) return packet;
+  }
+  return std::nullopt;
+}
+
+}  // namespace difane

@@ -1,0 +1,42 @@
+// Rule-table level header-space operations: winner regions, clipping a table
+// to a flow-space region (the partitioner's core primitive), and sampling-
+// based semantic equivalence used by the property tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flowspace/rule_table.hpp"
+#include "util/rng.hpp"
+
+namespace difane {
+
+// The region of flow space where rules()[idx] is the winning rule: its
+// predicate minus the union of all higher-priority predicates. Disjoint
+// pieces; nullopt if the decomposition exceeds `max_pieces`.
+std::optional<std::vector<Ternary>> winner_region(const RuleTable& table,
+                                                  std::size_t idx,
+                                                  std::size_t max_pieces = 4096);
+
+// Clip every rule of `table` to `region`: keep (rule.match ∩ region) with the
+// original priority/action/weight; drop rules that do not intersect. The
+// result is semantically identical to `table` for all packets inside
+// `region`. Rule ids are preserved (the same logical rule may appear in
+// several partitions — that duplication is exactly what DIFANE's partitioning
+// cost metric counts).
+RuleTable clip_table(const RuleTable& table, const Ternary& region);
+
+// Sampling-based semantic equivalence: draw `samples` random packets (half
+// uniform over the whole space, half biased inside random rules of `a` so
+// that narrow rules get exercised) and compare winner actions. Returns the
+// first differing packet if any.
+std::optional<BitVec> find_semantic_difference(const RuleTable& a, const RuleTable& b,
+                                               Rng& rng, std::size_t samples);
+
+// Same, but compare `a` against `b` only within `region`.
+std::optional<BitVec> find_semantic_difference_in(const RuleTable& a,
+                                                  const RuleTable& b,
+                                                  const Ternary& region, Rng& rng,
+                                                  std::size_t samples);
+
+}  // namespace difane

@@ -1,0 +1,115 @@
+// Fixed-width 256-bit vector backing packet headers and ternary patterns.
+// 256 bits is enough for the OpenFlow 1.0 12-tuple (253 bits) with room to
+// spare; keeping the width fixed lets every algebra operation be four
+// word-ops with no allocation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/contract.hpp"
+
+namespace difane {
+
+inline constexpr std::size_t kHeaderBits = 256;
+inline constexpr std::size_t kHeaderWords = kHeaderBits / 64;
+
+struct BitVec {
+  std::array<std::uint64_t, kHeaderWords> w{};
+
+  static BitVec zero() { return BitVec{}; }
+  static BitVec ones() {
+    BitVec v;
+    v.w.fill(~0ULL);
+    return v;
+  }
+
+  bool get(std::size_t bit) const {
+    expects(bit < kHeaderBits, "BitVec: bit index out of range");
+    return (w[bit / 64] >> (bit % 64)) & 1ULL;
+  }
+
+  void set(std::size_t bit, bool value) {
+    expects(bit < kHeaderBits, "BitVec: bit index out of range");
+    const std::uint64_t mask = 1ULL << (bit % 64);
+    if (value) {
+      w[bit / 64] |= mask;
+    } else {
+      w[bit / 64] &= ~mask;
+    }
+  }
+
+  // Write `width` bits of `value` starting at `offset` (LSB of the field at
+  // `offset`). Fields never straddle more than two words given width <= 64.
+  void set_bits(std::size_t offset, std::size_t width, std::uint64_t value) {
+    expects(width >= 1 && width <= 64 && offset + width <= kHeaderBits,
+            "BitVec: bad field bounds");
+    for (std::size_t i = 0; i < width; ++i) set(offset + i, (value >> i) & 1ULL);
+  }
+
+  std::uint64_t get_bits(std::size_t offset, std::size_t width) const {
+    expects(width >= 1 && width <= 64 && offset + width <= kHeaderBits,
+            "BitVec: bad field bounds");
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < width; ++i) {
+      out |= static_cast<std::uint64_t>(get(offset + i)) << i;
+    }
+    return out;
+  }
+
+  bool is_zero() const {
+    for (auto word : w) {
+      if (word != 0) return false;
+    }
+    return true;
+  }
+
+  int popcount() const;
+
+  friend BitVec operator&(const BitVec& a, const BitVec& b) {
+    BitVec r;
+    for (std::size_t i = 0; i < kHeaderWords; ++i) r.w[i] = a.w[i] & b.w[i];
+    return r;
+  }
+  friend BitVec operator|(const BitVec& a, const BitVec& b) {
+    BitVec r;
+    for (std::size_t i = 0; i < kHeaderWords; ++i) r.w[i] = a.w[i] | b.w[i];
+    return r;
+  }
+  friend BitVec operator^(const BitVec& a, const BitVec& b) {
+    BitVec r;
+    for (std::size_t i = 0; i < kHeaderWords; ++i) r.w[i] = a.w[i] ^ b.w[i];
+    return r;
+  }
+  friend BitVec operator~(const BitVec& a) {
+    BitVec r;
+    for (std::size_t i = 0; i < kHeaderWords; ++i) r.w[i] = ~a.w[i];
+    return r;
+  }
+  friend bool operator==(const BitVec& a, const BitVec& b) { return a.w == b.w; }
+
+  std::uint64_t hash() const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (auto word : w) {
+      h ^= word + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+inline int BitVec::popcount() const {
+  int n = 0;
+  for (auto word : w) n += __builtin_popcountll(word);
+  return n;
+}
+
+}  // namespace difane
+
+template <>
+struct std::hash<difane::BitVec> {
+  std::size_t operator()(const difane::BitVec& v) const noexcept {
+    return static_cast<std::size_t>(v.hash());
+  }
+};

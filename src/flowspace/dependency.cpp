@@ -1,0 +1,110 @@
+#include "flowspace/dependency.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace difane {
+
+std::size_t DependencyGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& p : parents) n += p.size();
+  return n;
+}
+
+std::size_t DependencyGraph::chain_depth(std::uint32_t i) const {
+  expects(i < parents.size(), "chain_depth: index out of range");
+  // Memoized DFS over a DAG (edges always go to strictly smaller indices, so
+  // iterating upward in index order is a topological order).
+  std::vector<std::size_t> depth(parents.size(), 0);
+  for (std::uint32_t v = 0; v <= i; ++v) {
+    for (const auto p : parents[v]) depth[v] = std::max(depth[v], depth[p] + 1);
+  }
+  return depth[i];
+}
+
+std::size_t DependencyGraph::max_chain_depth() const {
+  std::size_t best = 0;
+  std::vector<std::size_t> depth(parents.size(), 0);
+  for (std::uint32_t v = 0; v < parents.size(); ++v) {
+    for (const auto p : parents[v]) depth[v] = std::max(depth[v], depth[p] + 1);
+    best = std::max(best, depth[v]);
+  }
+  return best;
+}
+
+DependencyGraph build_dependency_graph(const RuleTable& table, std::size_t max_pieces) {
+  DependencyGraph graph;
+  const std::size_t n = table.size();
+  graph.parents.assign(n, {});
+  graph.children.assign(n, {});
+  graph.conservative.assign(n, false);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Ternary& pred = table.at(i).match;
+    std::vector<Ternary> remainder{pred};
+    bool exploded = false;
+    // Walk from the rule immediately above i upward. Only rules that
+    // intersect the *remainder* are true dependencies; rules that intersect
+    // pred but whose overlap is already claimed by a rule in between are not.
+    for (std::size_t up = i; up-- > 0;) {
+      const Ternary& higher = table.at(up).match;
+      if (!exploded) {
+        bool bites = false;
+        std::vector<Ternary> next;
+        for (const auto& piece : remainder) {
+          if (intersects(piece, higher)) {
+            bites = true;
+            auto sub = subtract(piece, higher);
+            next.insert(next.end(), sub.begin(), sub.end());
+          } else {
+            next.push_back(piece);
+          }
+        }
+        if (next.size() > max_pieces) {
+          exploded = true;
+          graph.conservative[i] = true;
+        } else {
+          remainder = std::move(next);
+        }
+        if (bites) {
+          graph.parents[i].push_back(static_cast<std::uint32_t>(up));
+        }
+        if (!exploded && remainder.empty()) break;  // fully shadowed above `up`
+      } else {
+        // Conservative fallback: any intersecting higher rule is a parent.
+        if (intersects(pred, higher)) {
+          graph.parents[i].push_back(static_cast<std::uint32_t>(up));
+        }
+      }
+    }
+    std::sort(graph.parents[i].begin(), graph.parents[i].end());
+    for (const auto p : graph.parents[i]) {
+      graph.children[p].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return graph;
+}
+
+std::vector<std::uint32_t> ancestor_closure(const DependencyGraph& graph,
+                                            std::uint32_t idx) {
+  expects(idx < graph.size(), "ancestor_closure: index out of range");
+  std::vector<bool> seen(graph.size(), false);
+  std::vector<std::uint32_t> stack{idx};
+  std::vector<std::uint32_t> out;
+  while (!stack.empty()) {
+    const auto v = stack.back();
+    stack.pop_back();
+    for (const auto p : graph.parents[v]) {
+      if (!seen[p]) {
+        seen[p] = true;
+        out.push_back(p);
+        stack.push_back(p);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace difane

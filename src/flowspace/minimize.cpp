@@ -1,0 +1,82 @@
+#include "flowspace/minimize.hpp"
+
+#include <algorithm>
+
+namespace difane {
+
+RuleTable eliminate_shadowed(const RuleTable& table, MinimizeStats* stats,
+                             std::size_t max_pieces) {
+  const auto shadowed = table.find_shadowed(max_pieces);
+  RuleTable out = table;
+  for (const auto id : shadowed) out.remove(id);
+  if (stats) {
+    stats->shadowed_removed += shadowed.size();
+  }
+  return out;
+}
+
+namespace {
+
+// If a and b differ in exactly one cared bit (same care mask), return the
+// merged pattern with that bit wildcarded.
+std::optional<Ternary> fuse(const Ternary& a, const Ternary& b) {
+  if (!(a.care() == b.care())) return std::nullopt;
+  const BitVec diff = a.value() ^ b.value();
+  if (diff.popcount() != 1) return std::nullopt;
+  const BitVec care = a.care() & ~diff;
+  return Ternary(a.value() & care, care);
+}
+
+}  // namespace
+
+RuleTable merge_siblings(const RuleTable& table, MinimizeStats* stats) {
+  std::vector<Rule> rules = table.rules();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < rules.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < rules.size(); ++j) {
+        if (rules[i].priority != rules[j].priority) continue;
+        if (!(rules[i].action == rules[j].action)) continue;
+        const auto merged = fuse(rules[i].match, rules[j].match);
+        if (!merged.has_value()) continue;
+        // Ties within a priority level break by id. Merging moves the
+        // higher-id sibling's region down to the lower id; an equal-priority
+        // rule whose id sits between the two and overlaps that region would
+        // change winners. Skip such merges.
+        const RuleId lo = std::min(rules[i].id, rules[j].id);
+        const RuleId hi = std::max(rules[i].id, rules[j].id);
+        bool hazard = false;
+        for (std::size_t k = 0; k < rules.size() && !hazard; ++k) {
+          if (k == i || k == j) continue;
+          hazard = rules[k].priority == rules[i].priority && rules[k].id > lo &&
+                   rules[k].id < hi && intersects(rules[k].match, *merged);
+        }
+        if (hazard) continue;
+        rules[i].match = *merged;
+        rules[i].weight += rules[j].weight;
+        // The merged rule keeps the lower id (stable tie-break position).
+        rules[i].id = std::min(rules[i].id, rules[j].id);
+        rules.erase(rules.begin() + static_cast<std::ptrdiff_t>(j));
+        if (stats) ++stats->merges;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return RuleTable(std::move(rules));
+}
+
+RuleTable minimize(const RuleTable& table, MinimizeStats* stats) {
+  MinimizeStats local;
+  local.before = table.size();
+  RuleTable out = merge_siblings(eliminate_shadowed(table, &local), &local);
+  // Merging can expose new shadows (a fused broad rule may cover lower
+  // rules); one more elimination pass reaches the common fixed point.
+  out = eliminate_shadowed(out, &local);
+  local.after = out.size();
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace difane

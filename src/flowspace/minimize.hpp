@@ -1,0 +1,41 @@
+// Policy minimization — the classic TCAM-shrinking pre-pass (in the spirit
+// of TCAM Razor). Two semantics-preserving reductions:
+//
+//  * shadow elimination: drop rules that can never win (their predicate is
+//    fully covered by higher-priority rules);
+//  * sibling merge: two rules that differ in exactly one cared bit, with the
+//    same action and priority, fuse into one rule with that bit wildcarded
+//    (undoes range-expansion blowup), applied to closure.
+//
+// Minimization trades away per-rule counter transparency (merged rules
+// cannot report separate counters), which is exactly why DIFANE-style
+// caching *splices* rather than compresses; the partitioning benches use
+// this as the compression baseline.
+#pragma once
+
+#include "flowspace/rule_table.hpp"
+
+namespace difane {
+
+struct MinimizeStats {
+  std::size_t shadowed_removed = 0;
+  std::size_t merges = 0;
+  std::size_t before = 0;
+  std::size_t after = 0;
+};
+
+// Remove rules that cannot win. `max_pieces` bounds the residual
+// decomposition per rule; rules whose analysis exceeds it are kept.
+RuleTable eliminate_shadowed(const RuleTable& table, MinimizeStats* stats = nullptr,
+                             std::size_t max_pieces = 4096);
+
+// Fuse sibling pairs (same priority, same action, predicates differing in
+// exactly one cared bit) until a fixed point. Safe regardless of other
+// rules: the union of the two siblings equals the merged predicate, and
+// their shared priority means no rule between them.
+RuleTable merge_siblings(const RuleTable& table, MinimizeStats* stats = nullptr);
+
+// Both passes; returns the minimized table and fills `stats`.
+RuleTable minimize(const RuleTable& table, MinimizeStats* stats = nullptr);
+
+}  // namespace difane

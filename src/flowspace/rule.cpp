@@ -1,0 +1,24 @@
+#include "flowspace/rule.hpp"
+
+#include <sstream>
+
+namespace difane {
+
+std::string Action::to_string() const {
+  switch (type) {
+    case ActionType::kForward: return "fwd(" + std::to_string(arg) + ")";
+    case ActionType::kDrop: return "drop";
+    case ActionType::kEncap: return "encap(" + std::to_string(arg) + ")";
+    case ActionType::kToController: return "to_controller";
+  }
+  return "?";
+}
+
+std::string Rule::to_string() const {
+  std::ostringstream os;
+  os << "R" << id << " prio=" << priority << " [" << pattern_to_string(match)
+     << "] -> " << action.to_string();
+  return os.str();
+}
+
+}  // namespace difane

@@ -1,0 +1,68 @@
+// Rules: a ternary predicate plus an action at a priority. The three DIFANE
+// rule kinds (cache / authority / partition) are all Rules; the switch flow
+// table layers them into priority bands.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "flowspace/header.hpp"
+#include "flowspace/ternary.hpp"
+
+namespace difane {
+
+using RuleId = std::uint32_t;
+using Priority = std::int32_t;
+
+inline constexpr RuleId kInvalidRuleId = 0xffffffffu;
+
+enum class ActionType : std::uint8_t {
+  kForward,       // forward out a port (arg = port)
+  kDrop,          // discard
+  kEncap,         // encapsulate and redirect to a switch (arg = switch id);
+                  // this is how DIFANE partition rules steer cache misses
+  kToController,  // punt to the controller (the NOX baseline's miss path)
+};
+
+struct Action {
+  ActionType type = ActionType::kDrop;
+  std::uint32_t arg = 0;
+
+  static Action forward(std::uint32_t port) { return {ActionType::kForward, port}; }
+  static Action drop() { return {ActionType::kDrop, 0}; }
+  static Action encap(std::uint32_t switch_id) { return {ActionType::kEncap, switch_id}; }
+  static Action to_controller() { return {ActionType::kToController, 0}; }
+
+  friend bool operator==(const Action& a, const Action& b) {
+    return a.type == b.type && a.arg == b.arg;
+  }
+
+  std::string to_string() const;
+};
+
+struct Rule {
+  RuleId id = kInvalidRuleId;
+  Priority priority = 0;
+  Ternary match;
+  Action action;
+  // Expected share of traffic hitting this rule; drives cache decisions and
+  // the Zipf workload. Not part of matching semantics.
+  double weight = 0.0;
+  // When this rule is a clipped copy produced by partitioning (or a shadow
+  // rule derived from one), the id of the original policy rule it descends
+  // from. Lets counters be aggregated back per policy rule (transparency).
+  RuleId origin = kInvalidRuleId;
+
+  RuleId origin_or_self() const { return origin == kInvalidRuleId ? id : origin; }
+
+  std::string to_string() const;
+};
+
+// Total priority order used everywhere: higher priority wins; ties broken by
+// lower id (first-installed wins), making match results deterministic.
+inline bool rule_before(const Rule& a, const Rule& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  return a.id < b.id;
+}
+
+}  // namespace difane

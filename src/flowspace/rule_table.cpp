@@ -1,0 +1,72 @@
+#include "flowspace/rule_table.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace difane {
+
+RuleTable::RuleTable(std::vector<Rule> rules) : rules_(std::move(rules)) {
+  std::stable_sort(rules_.begin(), rules_.end(), rule_before);
+}
+
+void RuleTable::add(Rule rule) {
+  expects(rule.id != kInvalidRuleId, "RuleTable: rule needs a valid id");
+  expects(!contains(rule.id), "RuleTable: duplicate rule id");
+  const auto pos = std::lower_bound(rules_.begin(), rules_.end(), rule, rule_before);
+  rules_.insert(pos, std::move(rule));
+}
+
+bool RuleTable::remove(RuleId id) {
+  const auto it = std::find_if(rules_.begin(), rules_.end(),
+                               [id](const Rule& r) { return r.id == id; });
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  return true;
+}
+
+bool RuleTable::contains(RuleId id) const { return find(id) != nullptr; }
+
+const Rule* RuleTable::find(RuleId id) const {
+  const auto it = std::find_if(rules_.begin(), rules_.end(),
+                               [id](const Rule& r) { return r.id == id; });
+  return it == rules_.end() ? nullptr : &*it;
+}
+
+const Rule* RuleTable::match(const BitVec& packet) const {
+  for (const auto& rule : rules_) {
+    if (rule.match.matches(packet)) return &rule;
+  }
+  return nullptr;
+}
+
+std::optional<std::size_t> RuleTable::match_index(const BitVec& packet) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].match.matches(packet)) return i;
+  }
+  return std::nullopt;
+}
+
+double RuleTable::total_weight() const {
+  double sum = 0.0;
+  for (const auto& rule : rules_) sum += rule.weight;
+  return sum;
+}
+
+bool RuleTable::has_default() const {
+  return !rules_.empty() && rules_.back().match.is_full_wildcard();
+}
+
+std::vector<RuleId> RuleTable::find_shadowed(std::size_t max_pieces) const {
+  std::vector<RuleId> shadowed;
+  std::vector<Ternary> higher;
+  higher.reserve(rules_.size());
+  for (const auto& rule : rules_) {
+    const auto residual = subtract_all(rule.match, higher, max_pieces);
+    if (residual.has_value() && residual->empty()) shadowed.push_back(rule.id);
+    higher.push_back(rule.match);
+  }
+  return shadowed;
+}
+
+}  // namespace difane

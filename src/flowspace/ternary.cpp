@@ -1,0 +1,87 @@
+#include "flowspace/ternary.hpp"
+
+namespace difane {
+
+void Ternary::set_exact(std::size_t offset, std::size_t width, std::uint64_t value) {
+  expects(width >= 1 && width <= 64 && offset + width <= kHeaderBits,
+          "Ternary: bad field bounds");
+  if (width < 64) {
+    expects(value < (1ULL << width), "Ternary: value wider than field");
+  }
+  value_.set_bits(offset, width, value);
+  for (std::size_t i = 0; i < width; ++i) care_.set(offset + i, true);
+}
+
+void Ternary::set_prefix(std::size_t offset, std::size_t width, std::uint64_t value,
+                         std::size_t prefix_len) {
+  expects(prefix_len <= width, "Ternary: prefix longer than field");
+  if (prefix_len == 0) return;
+  // CIDR semantics: the prefix constrains the *most significant* bits of the
+  // field. Field bit (width-1) is its MSB, stored at offset + width - 1.
+  for (std::size_t i = 0; i < prefix_len; ++i) {
+    const std::size_t field_bit = width - 1 - i;
+    const bool bit = (value >> field_bit) & 1ULL;
+    value_.set(offset + field_bit, bit);
+    care_.set(offset + field_bit, true);
+  }
+}
+
+BitVec Ternary::sample_point(Rng& rng) const {
+  BitVec noise;
+  for (auto& word : noise.w) word = rng.next_u64();
+  // Keep cared bits from value_, fill wildcard bits with noise.
+  return value_ | (noise & ~care_);
+}
+
+std::string Ternary::bits_to_string(std::size_t offset, std::size_t width) const {
+  expects(offset + width <= kHeaderBits, "Ternary: bad range");
+  std::string s;
+  s.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t bit = offset + width - 1 - i;  // MSB first
+    if (!care_.get(bit)) {
+      s.push_back('x');
+    } else {
+      s.push_back(value_.get(bit) ? '1' : '0');
+    }
+  }
+  return s;
+}
+
+std::vector<Ternary> subtract(const Ternary& a, const Ternary& b) {
+  if (!intersects(a, b)) return {a};
+  std::vector<Ternary> out;
+  // Peel off, one bit at a time, the region of `a` that disagrees with `b`
+  // on a bit `b` cares about but the running remainder does not. Each peeled
+  // piece is disjoint from all previous pieces (they agree with b on earlier
+  // peel bits) and from b (they disagree on the peel bit).
+  Ternary cur = a;
+  for (std::size_t bit = 0; bit < kHeaderBits; ++bit) {
+    if (!b.care().get(bit) || cur.care().get(bit)) continue;
+    Ternary piece = cur;
+    piece.set_exact(bit, 1, b.value().get(bit) ? 0 : 1);
+    out.push_back(piece);
+    cur.set_exact(bit, 1, b.value().get(bit) ? 1 : 0);
+  }
+  // `cur` is now a ∩ b and is intentionally dropped.
+  return out;
+}
+
+std::optional<std::vector<Ternary>> subtract_all(const Ternary& a,
+                                                 const std::vector<Ternary>& bs,
+                                                 std::size_t max_pieces) {
+  std::vector<Ternary> pieces{a};
+  for (const auto& b : bs) {
+    std::vector<Ternary> next;
+    for (const auto& piece : pieces) {
+      auto sub = subtract(piece, b);
+      next.insert(next.end(), sub.begin(), sub.end());
+      if (next.size() > max_pieces) return std::nullopt;
+    }
+    pieces = std::move(next);
+    if (pieces.empty()) break;
+  }
+  return pieces;
+}
+
+}  // namespace difane

@@ -1,0 +1,31 @@
+#include "netsim/engine.hpp"
+
+namespace difane {
+
+void Engine::at(SimTime when, Handler fn) {
+  expects(when >= now_, "Engine: cannot schedule in the past");
+  queue_.push(Event{when, seq_++, std::move(fn)});
+}
+
+std::uint64_t Engine::run(SimTime until, std::uint64_t max_events) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && count < max_events) {
+    const Event& top = queue_.top();
+    if (top.when > until) break;
+    // Move the handler out before popping so re-entrant scheduling is safe.
+    Handler fn = std::move(const_cast<Event&>(top).fn);
+    now_ = top.when;
+    queue_.pop();
+    fn();
+    ++count;
+    ++executed_;
+  }
+  if (queue_.empty() && now_ < until && until < 1e18) now_ = until;
+  return count;
+}
+
+void Engine::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace difane

@@ -1,0 +1,58 @@
+// Discrete-event engine. Events are closures executed in nondecreasing
+// timestamp order; ties break by schedule order (FIFO), which makes runs
+// deterministic. This is the testbed substitute: switch processing, link
+// propagation, controller service times are all events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace difane {
+
+using SimTime = double;  // seconds
+
+class Engine {
+ public:
+  using Handler = std::function<void()>;
+
+  // Schedule at absolute time `when` (>= now).
+  void at(SimTime when, Handler fn);
+  // Schedule `delay` seconds from now.
+  void after(SimTime delay, Handler fn) { at(now_ + delay, std::move(fn)); }
+
+  SimTime now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+  // Run until the queue drains, `until` is passed, or `max_events` fire.
+  // Returns the number of events executed by this call.
+  std::uint64_t run(SimTime until = 1e18, std::uint64_t max_events = ~0ULL);
+
+  // Drop all pending events (end-of-experiment cleanup).
+  void clear();
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace difane

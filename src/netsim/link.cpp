@@ -1,0 +1,4 @@
+#include "netsim/link.hpp"
+
+// Link is header-only; this translation unit pins the library.
+namespace difane {}

@@ -1,0 +1,33 @@
+// The simulated packet. DIFANE's redirection is modelled by the `encap`
+// field: a partition-rule hit wraps the packet toward an authority switch;
+// the authority switch unwraps it and forwards it toward the real egress.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "flowspace/bitvec.hpp"
+#include "switchsim/sw.hpp"
+
+namespace difane {
+
+using FlowId = std::uint64_t;
+
+struct Packet {
+  FlowId flow = 0;
+  BitVec header;
+  std::uint32_t bytes = 100;
+  double created = 0.0;  // sim time the packet entered the network
+  SwitchId ingress = kInvalidSwitch;
+  // Set while the packet rides a DIFANE encapsulation tunnel toward an
+  // authority switch.
+  std::optional<SwitchId> encap_target;
+  // Set once a terminal forwarding decision is made: the packet is tunneled
+  // to this egress switch and transit switches do not re-consult the policy.
+  std::optional<SwitchId> tunnel_egress;
+  std::uint32_t hops = 0;
+  bool was_redirected = false;   // took the authority-switch detour
+  bool is_first_of_flow = false; // the packet the paper's delay figure times
+};
+
+}  // namespace difane

@@ -1,0 +1,61 @@
+// Incremental partition maintenance. Policy churn (rule insert/delete) must
+// not trigger a full repartition: DIFANE updates only the partitions whose
+// regions the changed rule touches. This class keeps the cut tree mutable,
+// splits leaves that overflow, merges sibling leaves that empty out, and
+// reports exactly which partitions changed — the metric the churn
+// experiment (E7) measures against a full rebuild.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioner.hpp"
+
+namespace difane {
+
+class IncrementalPartitioner {
+ public:
+  IncrementalPartitioner(const RuleTable& initial_policy, PartitionerParams params,
+                         std::uint32_t authority_count);
+
+  // Insert/remove a policy rule. Returns the ids (leaf node indices, stable
+  // across ops) of every partition whose rule set changed, including leaves
+  // created by splits.
+  std::vector<PartitionId> insert(const Rule& rule);
+  std::vector<PartitionId> remove(RuleId id);
+
+  // Current policy (kept in sync with the tree).
+  const RuleTable& policy() const { return policy_; }
+
+  std::size_t partition_count() const;
+  std::size_t total_rules() const;  // sum of clipped copies across leaves
+
+  // Materialize the current tree as a PartitionPlan (authority assignment is
+  // recomputed with the same LPT packing the batch partitioner uses).
+  PartitionPlan snapshot() const;
+
+ private:
+  struct Node {
+    Ternary region;
+    std::int32_t cut_bit = -1;  // -1 => leaf
+    std::uint32_t left = 0, right = 0;
+    std::vector<Rule> rules;    // leaf only: clipped copies, priority-sorted
+    bool alive = true;          // false once merged away
+  };
+
+  void build_initial();
+  void insert_into(std::uint32_t node, const Rule& rule,
+                   std::vector<PartitionId>& touched);
+  void split_leaf(std::uint32_t node, std::vector<PartitionId>& touched);
+  void collect_leaves(std::uint32_t node, std::vector<std::uint32_t>& out) const;
+  int pick_bit(const std::vector<Rule>& rules, const Ternary& region) const;
+  static void sorted_insert(std::vector<Rule>& rules, Rule rule);
+
+  RuleTable policy_;
+  PartitionerParams params_;
+  std::uint32_t authority_count_;
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = 0;
+};
+
+}  // namespace difane

@@ -1,0 +1,73 @@
+// Partition plan: the output of DIFANE's flow-space partitioning. The plan
+// carves the whole flow space into disjoint ternary regions (the leaves of a
+// cut tree), clips the policy into each region, and assigns regions to
+// authority switches. Partition rules — the low-priority redirect rules the
+// controller installs in *every* switch — are synthesized from the plan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flowspace/algebra.hpp"
+#include "flowspace/rule_table.hpp"
+
+namespace difane {
+
+using PartitionId = std::uint32_t;
+using AuthorityIndex = std::uint32_t;  // 0..k-1, mapped to switch ids by core
+
+struct Partition {
+  PartitionId id = 0;
+  Ternary region;          // disjoint from all other partitions; union covers all
+  RuleTable rules;         // policy clipped to `region`
+  AuthorityIndex primary = 0;
+  AuthorityIndex backup = 0;  // used when the primary authority switch fails
+};
+
+class PartitionPlan {
+ public:
+  PartitionPlan() = default;
+  PartitionPlan(std::vector<Partition> partitions, std::size_t original_rule_count,
+                std::uint32_t authority_count);
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  std::uint32_t authority_count() const { return authority_count_; }
+  std::size_t original_rule_count() const { return original_rule_count_; }
+
+  // The partition whose region contains `packet`. Regions are disjoint and
+  // complete by construction, so exactly one matches.
+  const Partition& find(const BitVec& packet) const;
+
+  // Low-priority redirect rules: one per partition, encap to the partition's
+  // primary (or backup) authority. `priority` should sit below every policy
+  // priority; ids are allocated from `first_id`.
+  std::vector<Rule> make_partition_rules(Priority priority, RuleId first_id,
+                                         bool use_backup = false) const;
+
+  // ---- cost metrics (what the paper's partitioning evaluation reports) ----
+  // Sum of clipped rule copies across all partitions.
+  std::size_t total_rules() const;
+  // total_rules / original policy size: the duplication overhead of cutting.
+  double duplication_factor() const;
+  // Rules hosted by each authority switch (sum over its partitions).
+  std::vector<std::size_t> rules_per_authority() const;
+  std::size_t max_rules_per_authority() const;
+
+  // Sampling check that regions are disjoint and complete, and that each
+  // partition's clipped table agrees with `policy` inside its region.
+  // Returns a description of the first violation, or nullopt.
+  std::optional<std::string> validate(const RuleTable& policy, Rng& rng,
+                                      std::size_t samples) const;
+
+  // Reassign the partitions of a failed authority to their backups.
+  void fail_over(AuthorityIndex failed);
+
+ private:
+  std::vector<Partition> partitions_;
+  std::size_t original_rule_count_ = 0;
+  std::uint32_t authority_count_ = 0;
+};
+
+}  // namespace difane

@@ -1,0 +1,216 @@
+#include "switchsim/flow_table.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace difane {
+
+const char* band_name(Band band) {
+  switch (band) {
+    case Band::kCache: return "cache";
+    case Band::kAuthority: return "authority";
+    case Band::kPartition: return "partition";
+  }
+  return "?";
+}
+
+FlowTable::FlowTable(std::size_t cache_capacity, std::size_t hw_capacity)
+    : cache_capacity_(cache_capacity), hw_capacity_(hw_capacity) {}
+
+bool FlowTable::install(const Rule& rule, Band band, double now, double idle_timeout,
+                        double hard_timeout, std::vector<RuleId> guards) {
+  auto& entries = bands_[index(band)];
+  // Same-id reinstall refreshes the entry in place (counters survive).
+  const auto existing = std::find_if(entries.begin(), entries.end(),
+                                     [&](const FlowEntry& e) { return e.rule.id == rule.id; });
+  if (existing != entries.end()) {
+    existing->rule = rule;
+    existing->install_time = now;
+    existing->idle_timeout = idle_timeout;
+    existing->hard_timeout = hard_timeout;
+    existing->last_hit = now;
+    existing->guards = std::move(guards);
+    ++stats_.installs;
+    return true;
+  }
+  if (band == Band::kCache) {
+    if (cache_capacity_ == 0) {
+      ++stats_.install_rejected;
+      return false;
+    }
+    while (entries.size() >= cache_capacity_) evict_lru_cache(now);
+  } else {
+    const std::size_t other = bands_[index(Band::kAuthority)].size() +
+                              bands_[index(Band::kPartition)].size();
+    if (other >= hw_capacity_) {
+      ++stats_.install_rejected;
+      return false;
+    }
+  }
+  FlowEntry entry;
+  entry.rule = rule;
+  entry.band = band;
+  entry.install_time = now;
+  entry.idle_timeout = idle_timeout;
+  entry.hard_timeout = hard_timeout;
+  entry.last_hit = now;
+  entry.guards = std::move(guards);
+  const auto pos = std::lower_bound(
+      entries.begin(), entries.end(), entry,
+      [](const FlowEntry& a, const FlowEntry& b) { return rule_before(a.rule, b.rule); });
+  entries.insert(pos, std::move(entry));
+  ++stats_.installs;
+  return true;
+}
+
+void FlowTable::retire(const FlowEntry& entry) {
+  // Plumbing entries re-count at the authority switch; see retired() docs.
+  if (entry.band == Band::kPartition) return;
+  if (entry.rule.action.type == ActionType::kEncap) return;
+  if (entry.packets == 0 && entry.bytes == 0) return;
+  auto& row = retired_[entry.rule.origin_or_self()];
+  row.packets += entry.packets;
+  row.bytes += entry.bytes;
+}
+
+void FlowTable::cascade_remove_dependents(std::vector<RuleId> removed_ids) {
+  auto& cache = bands_[index(Band::kCache)];
+  while (!removed_ids.empty()) {
+    const RuleId gone = removed_ids.back();
+    removed_ids.pop_back();
+    for (auto it = cache.begin(); it != cache.end();) {
+      const bool guarded_by_gone =
+          std::find(it->guards.begin(), it->guards.end(), gone) != it->guards.end();
+      if (guarded_by_gone) {
+        retire(*it);
+        removed_ids.push_back(it->rule.id);
+        it = cache.erase(it);
+        ++stats_.cascade_evictions;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void FlowTable::evict_lru_cache(double now) {
+  auto& cache = bands_[index(Band::kCache)];
+  expects(!cache.empty(), "evict_lru_cache: cache empty");
+  (void)now;
+  const auto victim = std::min_element(
+      cache.begin(), cache.end(),
+      [](const FlowEntry& a, const FlowEntry& b) { return a.last_hit < b.last_hit; });
+  retire(*victim);
+  const RuleId gone = victim->rule.id;
+  cache.erase(victim);
+  ++stats_.evictions;
+  cascade_remove_dependents({gone});
+}
+
+bool FlowTable::remove(RuleId id, Band band) {
+  auto& entries = bands_[index(band)];
+  const auto it = std::find_if(entries.begin(), entries.end(),
+                               [id](const FlowEntry& e) { return e.rule.id == id; });
+  if (it == entries.end()) return false;
+  retire(*it);
+  const RuleId gone = it->rule.id;
+  entries.erase(it);
+  if (band == Band::kCache) cascade_remove_dependents({gone});
+  return true;
+}
+
+void FlowTable::clear_band(Band band) {
+  for (const auto& entry : bands_[index(band)]) retire(entry);
+  bands_[index(band)].clear();
+}
+
+std::size_t FlowTable::expire(double now) {
+  std::size_t total = 0;
+  std::vector<RuleId> expired_cache;
+  for (auto& entries : bands_) {
+    const bool is_cache = &entries == &bands_[index(Band::kCache)];
+    const auto before = entries.size();
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const FlowEntry& e) {
+                                   if (e.expired(now)) {
+                                     retire(e);
+                                     if (is_cache) expired_cache.push_back(e.rule.id);
+                                     return true;
+                                   }
+                                   return false;
+                                 }),
+                  entries.end());
+    total += before - entries.size();
+  }
+  stats_.expirations += total;
+  if (!expired_cache.empty()) cascade_remove_dependents(std::move(expired_cache));
+  return total;
+}
+
+const FlowEntry* FlowTable::lookup(const BitVec& packet, double now, std::uint64_t bytes) {
+  expire(now);
+  for (auto& entries : bands_) {
+    for (auto& entry : entries) {
+      if (entry.rule.match.matches(packet)) {
+        entry.last_hit = now;
+        ++entry.packets;
+        entry.bytes += bytes;
+        ++stats_.hits_per_band[index(entry.band)];
+        // A hit keeps the whole protection group warm: guards that never
+        // win on their own must not idle out (or become LRU victims) while
+        // the entries they protect are hot — the safety cascade would then
+        // evict hot entries along with them.
+        if (entry.band == Band::kCache && !entry.guards.empty()) {
+          auto& cache = bands_[index(Band::kCache)];
+          for (auto& other : cache) {
+            if (std::find(entry.guards.begin(), entry.guards.end(), other.rule.id) !=
+                entry.guards.end()) {
+              other.last_hit = now;
+            }
+          }
+        }
+        return &entry;
+      }
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+bool FlowTable::hit(RuleId id, Band band, double now, std::uint64_t bytes) {
+  auto& entries = bands_[index(band)];
+  const auto it = std::find_if(entries.begin(), entries.end(),
+                               [id](const FlowEntry& e) { return e.rule.id == id; });
+  if (it == entries.end()) return false;
+  it->last_hit = now;
+  ++it->packets;
+  it->bytes += bytes;
+  ++stats_.hits_per_band[index(band)];
+  return true;
+}
+
+const FlowEntry* FlowTable::peek(const BitVec& packet, double now) const {
+  for (const auto& entries : bands_) {
+    for (const auto& entry : entries) {
+      if (entry.expired(now)) continue;
+      if (entry.rule.match.matches(packet)) return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t FlowTable::total_size() const {
+  std::size_t n = 0;
+  for (const auto& entries : bands_) n += entries.size();
+  return n;
+}
+
+const FlowEntry* FlowTable::find(RuleId id, Band band) const {
+  const auto& entries = bands_[index(band)];
+  const auto it = std::find_if(entries.begin(), entries.end(),
+                               [id](const FlowEntry& e) { return e.rule.id == id; });
+  return it == entries.end() ? nullptr : &*it;
+}
+
+}  // namespace difane

@@ -1,0 +1,127 @@
+// Switch flow table with DIFANE's three priority bands. Cache rules shadow
+// authority rules shadow partition rules, regardless of the numeric
+// priorities inside each band — exactly the layering the paper installs in
+// every switch's TCAM. Cache entries carry idle/hard timeouts and LRU-evict
+// when the cache band is full; authority and partition entries are proactive
+// and never expire.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "flowspace/rule.hpp"
+
+namespace difane {
+
+enum class Band : std::uint8_t { kCache = 0, kAuthority = 1, kPartition = 2 };
+inline constexpr std::size_t kNumBands = 3;
+
+const char* band_name(Band band);
+
+struct FlowEntry {
+  Rule rule;
+  Band band = Band::kPartition;
+  double install_time = 0.0;
+  double idle_timeout = 0.0;  // seconds; 0 => none
+  double hard_timeout = 0.0;  // seconds; 0 => none
+  double last_hit = 0.0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  // Ids of the higher-priority entries this cache entry needs present to be
+  // safe (its install group's protectors: dependent-set ancestors or
+  // cover-set shadows). If any guard leaves the table, this entry must go
+  // too. Empty for self-sufficient entries (microflow, shadows, proactive
+  // bands).
+  std::vector<RuleId> guards;
+
+  bool expired(double now) const {
+    if (hard_timeout > 0.0 && now >= install_time + hard_timeout) return true;
+    if (idle_timeout > 0.0 && now >= last_hit + idle_timeout) return true;
+    return false;
+  }
+};
+
+struct FlowTableStats {
+  std::uint64_t hits_per_band[kNumBands] = {0, 0, 0};
+  std::uint64_t misses = 0;           // matched nothing in any band
+  std::uint64_t installs = 0;
+  std::uint64_t evictions = 0;        // cache LRU evictions
+  std::uint64_t expirations = 0;      // timeout removals
+  std::uint64_t cascade_evictions = 0;  // dependents removed for safety
+  std::uint64_t install_rejected = 0; // non-cache band over capacity
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(std::size_t cache_capacity = 1000,
+                     std::size_t hw_capacity = std::numeric_limits<std::size_t>::max());
+
+  // Install an entry. Cache-band installs LRU-evict on overflow and replace
+  // an existing entry with the same rule id (refreshing its timeouts and
+  // guards). Authority/partition installs fail (returning false) if the
+  // non-cache capacity is exhausted. `guards` lists the protector entry ids
+  // this entry depends on (see FlowEntry::guards).
+  bool install(const Rule& rule, Band band, double now, double idle_timeout = 0.0,
+               double hard_timeout = 0.0, std::vector<RuleId> guards = {});
+
+  bool remove(RuleId id, Band band);
+  void clear_band(Band band);
+
+  // Expire, then find the winning entry: lowest band first, then rule
+  // priority order within the band. A hit updates last_hit and counters.
+  const FlowEntry* lookup(const BitVec& packet, double now, std::uint64_t bytes = 1);
+
+  // Non-mutating probe (no counter/LRU update, no expiry).
+  const FlowEntry* peek(const BitVec& packet, double now) const;
+
+  // Credit a hit to a specific entry by id (used when the control logic
+  // resolved the match out-of-band, e.g. an authority switch handling a
+  // redirected packet against its partition). Returns false if absent.
+  bool hit(RuleId id, Band band, double now, std::uint64_t bytes = 1);
+
+  std::size_t expire(double now);
+
+  std::size_t size(Band band) const { return bands_[index(band)].size(); }
+  std::size_t total_size() const;
+  std::size_t cache_capacity() const { return cache_capacity_; }
+  const std::vector<FlowEntry>& entries(Band band) const { return bands_[index(band)]; }
+  const FlowEntry* find(RuleId id, Band band) const;
+
+  const FlowTableStats& stats() const { return stats_; }
+
+  // Counters of removed entries (timeout, eviction, explicit delete),
+  // accumulated per origin rule. A real switch reports these in
+  // flow-removed messages; keeping them lets per-policy-rule statistics
+  // stay exact across cache churn (the transparency property). Redirect
+  // plumbing (encap actions, partition band) is excluded — those hits are
+  // re-counted at the authority switch and would double-book.
+  struct RetiredCounters {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+  const std::unordered_map<RuleId, RetiredCounters>& retired() const {
+    return retired_;
+  }
+
+ private:
+  static std::size_t index(Band band) { return static_cast<std::size_t>(band); }
+  void evict_lru_cache(double now);
+  void retire(const FlowEntry& entry);
+  // Safety cascade: when a cache entry leaves (eviction, timeout, delete),
+  // every cache entry that listed it as a guard is unsafe — without its
+  // protector it would steal packets — and must leave too, recursively.
+  // Re-caching on the next miss restores the full group. Without this,
+  // cache churn silently breaks the semantics wildcard caching promises.
+  void cascade_remove_dependents(std::vector<RuleId> removed_ids);
+
+  std::size_t cache_capacity_;
+  std::size_t hw_capacity_;  // shared budget for authority+partition bands
+  std::vector<FlowEntry> bands_[kNumBands];  // each sorted by rule_before
+  FlowTableStats stats_;
+  std::unordered_map<RuleId, RetiredCounters> retired_;
+};
+
+}  // namespace difane

@@ -1,0 +1,35 @@
+// Lightweight precondition / postcondition helpers in the spirit of the
+// Core Guidelines' Expects()/Ensures(). Violations throw std::logic_error so
+// tests can assert on misuse without aborting the whole process.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace difane {
+
+class contract_violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+// Precondition: the caller must satisfy `cond` before invoking the operation.
+inline void expects(bool cond, const char* what = "precondition violated",
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw contract_violation(std::string(what) + " at " + loc.file_name() + ":" +
+                             std::to_string(loc.line()));
+  }
+}
+
+// Postcondition: the implementation guarantees `cond` on exit.
+inline void ensures(bool cond, const char* what = "postcondition violated",
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw contract_violation(std::string(what) + " at " + loc.file_name() + ":" +
+                             std::to_string(loc.line()));
+  }
+}
+
+}  // namespace difane

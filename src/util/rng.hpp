@@ -1,0 +1,104 @@
+// Deterministic random-number utilities shared by the workload generators and
+// the simulators. All experiments in this repo are seeded, so runs are
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace difane {
+
+// SplitMix64: tiny, fast, good-quality seeder / hash mixer.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Seeded PRNG wrapper with the sampling helpers the workloads need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    expects(lo <= hi, "uniform: empty range");
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  // Exponential inter-arrival time with the given rate (events per unit time).
+  double exponential(double rate) {
+    expects(rate > 0.0, "exponential: rate must be positive");
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  // Bounded Pareto sample in [min, max] with shape alpha; heavy-tailed flow sizes.
+  double pareto(double min, double max, double alpha) {
+    expects(min > 0.0 && max > min && alpha > 0.0, "pareto: bad parameters");
+    const double u = uniform01();
+    const double ha = std::pow(min / max, alpha);
+    return min / std::pow(1.0 - u * (1.0 - ha), 1.0 / alpha);
+  }
+
+  // Pick an index with probability proportional to weights[i].
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    expects(!weights.empty(), "weighted_index: empty weights");
+    return std::discrete_distribution<std::size_t>(weights.begin(), weights.end())(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+// Zipf sampler over ranks 1..n with exponent s: P(k) proportional to k^-s.
+// Precomputes the CDF once; sampling is a binary search. Internet flow
+// popularity is approximately Zipfian, which is the property the DIFANE cache
+// experiments depend on.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s) : cdf_(n) {
+    expects(n > 0, "zipf: n must be positive");
+    double sum = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) sum += 1.0 / std::pow(static_cast<double>(k), s);
+    double acc = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      acc += (1.0 / std::pow(static_cast<double>(k), s)) / sum;
+      cdf_[k - 1] = acc;
+    }
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+
+  // Returns a rank in [0, n).
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.uniform01();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+  // Probability mass of rank k (0-based).
+  double pmf(std::size_t k) const {
+    expects(k < cdf_.size(), "zipf: rank out of range");
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace difane

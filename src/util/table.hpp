@@ -1,0 +1,29 @@
+// Fixed-width console table printer. The bench harnesses use it to emit the
+// same row/series layout the paper's tables and figures report, so runs can
+// be eyeballed and diffed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace difane {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+
+  // Render with column alignment; includes a header separator line.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace difane

@@ -1,0 +1,61 @@
+// Traffic generation. Flow popularity is Zipfian (the paper's premise for
+// why caching works): a fixed pool of concrete flows is drawn from the
+// policy's rules, and arrivals sample the pool by Zipf rank with Poisson
+// timing and heavy-tailed flow lengths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flowspace/rule_table.hpp"
+#include "util/rng.hpp"
+
+namespace difane {
+
+struct FlowSpec {
+  std::uint64_t id = 0;
+  BitVec header;            // all packets of a flow share the header
+  double start = 0.0;       // arrival time of the first packet
+  std::size_t packets = 1;
+  double packet_gap = 1e-3; // spacing between packets within the flow
+  std::uint32_t ingress_index = 0;  // index into the scenario's ingress list
+};
+
+struct TrafficParams {
+  std::uint64_t seed = 1;
+  std::size_t flow_pool = 10000;     // distinct flows (headers) in the pool
+  double zipf_s = 1.0;               // popularity skew across pool entries
+  double arrival_rate = 1000.0;      // flows per second (Poisson)
+  double duration = 10.0;            // seconds of arrivals
+  double mean_packets = 10.0;        // flow length (bounded Pareto)
+  double pareto_alpha = 1.5;
+  double max_packets = 1000.0;
+  double packet_gap = 1e-3;
+  std::uint32_t ingress_count = 1;   // spread flows over this many ingresses
+
+  // Pool construction: with probability `p_rule_directed` a pool header is
+  // sampled inside a policy rule chosen by rule weight (so popular rules see
+  // traffic); otherwise uniformly at random.
+  double p_rule_directed = 0.9;
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(const RuleTable& policy, TrafficParams params);
+
+  // All flow arrivals in [0, duration), sorted by start time.
+  std::vector<FlowSpec> generate();
+
+  // The distinct headers in the pool (for cache-size reasoning in benches).
+  const std::vector<BitVec>& pool() const { return pool_; }
+
+ private:
+  void build_pool();
+
+  const RuleTable& policy_;
+  TrafficParams params_;
+  Rng rng_;
+  std::vector<BitVec> pool_;
+};
+
+}  // namespace difane

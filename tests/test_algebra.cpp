@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "flowspace/algebra.hpp"
+#include "flowspace/header.hpp"
+
+namespace difane {
+namespace {
+
+Rule rule_with(RuleId id, Priority priority, Ternary match, Action action) {
+  Rule r;
+  r.id = id;
+  r.priority = priority;
+  r.match = match;
+  r.action = action;
+  return r;
+}
+
+RuleTable small_policy() {
+  // prio 30: proto=6,port=80 -> fwd(1)
+  // prio 20: proto=6         -> drop
+  // prio 10: *               -> fwd(0)
+  RuleTable t;
+  Ternary m1;
+  match_exact(m1, Field::kIpProto, 6);
+  match_exact(m1, Field::kTpDst, 80);
+  t.add(rule_with(1, 30, m1, Action::forward(1)));
+  Ternary m2;
+  match_exact(m2, Field::kIpProto, 6);
+  t.add(rule_with(2, 20, m2, Action::drop()));
+  t.add(rule_with(3, 10, Ternary::wildcard(), Action::forward(0)));
+  return t;
+}
+
+TEST(Algebra, WinnerRegionTopRuleIsItsOwnMatch) {
+  const auto t = small_policy();
+  const auto region = winner_region(t, 0);
+  ASSERT_TRUE(region.has_value());
+  ASSERT_EQ(region->size(), 1u);
+  EXPECT_TRUE((*region)[0] == t.at(0).match);
+}
+
+TEST(Algebra, WinnerRegionExcludesHigherRules) {
+  const auto t = small_policy();
+  const auto region = winner_region(t, 1);  // proto=6 minus (proto=6,port=80)
+  ASSERT_TRUE(region.has_value());
+  Rng rng(3);
+  for (const auto& piece : *region) {
+    for (int i = 0; i < 50; ++i) {
+      const BitVec p = piece.sample_point(rng);
+      EXPECT_EQ(get_field(p, Field::kIpProto), 6u);
+      EXPECT_NE(get_field(p, Field::kTpDst), 80u);
+    }
+  }
+}
+
+TEST(Algebra, ClipTableKeepsSemanticsInsideRegion) {
+  const auto t = small_policy();
+  Ternary region;
+  match_exact(region, Field::kIpProto, 6);
+  const auto clipped = clip_table(t, region);
+  // The wildcard default intersects the region, so 3 rules survive.
+  EXPECT_EQ(clipped.size(), 3u);
+  Rng rng(5);
+  EXPECT_FALSE(
+      find_semantic_difference_in(t, clipped, region, rng, 500).has_value());
+}
+
+TEST(Algebra, ClipTableDropsDisjointRules) {
+  const auto t = small_policy();
+  Ternary region;
+  match_exact(region, Field::kIpProto, 17);  // UDP: rules 1 and 2 vanish
+  const auto clipped = clip_table(t, region);
+  EXPECT_EQ(clipped.size(), 1u);
+  EXPECT_EQ(clipped.at(0).id, 3u);
+}
+
+TEST(Algebra, FindSemanticDifferenceDetectsPlantedChange) {
+  const auto a = small_policy();
+  RuleTable b = small_policy();
+  b.remove(2);
+  // Removing the TCP drop changes TCP/non-80 packets from drop to fwd(0).
+  Rng rng(7);
+  const auto diff = find_semantic_difference(a, b, rng, 2000);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_EQ(get_field(*diff, Field::kIpProto), 6u);
+  const Rule* wa = a.match(*diff);
+  const Rule* wb = b.match(*diff);
+  ASSERT_NE(wa, nullptr);
+  ASSERT_NE(wb, nullptr);
+  EXPECT_FALSE(wa->action == wb->action);
+}
+
+TEST(Algebra, FindSemanticDifferenceNullOnIdenticalTables) {
+  const auto a = small_policy();
+  const auto b = small_policy();
+  Rng rng(9);
+  EXPECT_FALSE(find_semantic_difference(a, b, rng, 1000).has_value());
+}
+
+TEST(Algebra, ActionChangeIsDetectedEvenWithSameShape) {
+  const auto a = small_policy();
+  RuleTable b;
+  Ternary m1;
+  match_exact(m1, Field::kIpProto, 6);
+  match_exact(m1, Field::kTpDst, 80);
+  b.add(rule_with(1, 30, m1, Action::forward(2)));  // different port
+  Ternary m2;
+  match_exact(m2, Field::kIpProto, 6);
+  b.add(rule_with(2, 20, m2, Action::drop()));
+  b.add(rule_with(3, 10, Ternary::wildcard(), Action::forward(0)));
+  Rng rng(11);
+  EXPECT_TRUE(find_semantic_difference(a, b, rng, 2000).has_value());
+}
+
+}  // namespace
+}  // namespace difane

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "flowspace/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace difane {
+namespace {
+
+TEST(BitVec, SetGetRoundTrip) {
+  BitVec v;
+  for (const std::size_t bit : {0u, 1u, 63u, 64u, 127u, 128u, 255u}) {
+    EXPECT_FALSE(v.get(bit));
+    v.set(bit, true);
+    EXPECT_TRUE(v.get(bit));
+    v.set(bit, false);
+    EXPECT_FALSE(v.get(bit));
+  }
+}
+
+TEST(BitVec, SetBitsAcrossWordBoundary) {
+  BitVec v;
+  v.set_bits(60, 10, 0x3ffULL);  // straddles word 0/1
+  EXPECT_EQ(v.get_bits(60, 10), 0x3ffULL);
+  EXPECT_FALSE(v.get(59));
+  EXPECT_FALSE(v.get(70));
+  v.set_bits(60, 10, 0x155ULL);
+  EXPECT_EQ(v.get_bits(60, 10), 0x155ULL);
+}
+
+TEST(BitVec, FieldWidth64) {
+  BitVec v;
+  v.set_bits(32, 64, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(v.get_bits(32, 64), 0xdeadbeefcafef00dULL);
+}
+
+TEST(BitVec, BoundsChecked) {
+  BitVec v;
+  EXPECT_THROW(v.get(256), contract_violation);
+  EXPECT_THROW(v.set(256, true), contract_violation);
+  EXPECT_THROW(v.set_bits(250, 10, 0), contract_violation);
+  EXPECT_THROW(v.get_bits(0, 65), contract_violation);
+}
+
+TEST(BitVec, BitwiseOps) {
+  BitVec a, b;
+  a.set(5, true);
+  a.set(100, true);
+  b.set(100, true);
+  b.set(200, true);
+  const BitVec both = a & b;
+  EXPECT_TRUE(both.get(100));
+  EXPECT_FALSE(both.get(5));
+  const BitVec any = a | b;
+  EXPECT_TRUE(any.get(5));
+  EXPECT_TRUE(any.get(200));
+  const BitVec diff = a ^ b;
+  EXPECT_TRUE(diff.get(5));
+  EXPECT_FALSE(diff.get(100));
+  EXPECT_TRUE((~a).get(6));
+  EXPECT_FALSE((~a).get(5));
+}
+
+TEST(BitVec, ZeroOnesPopcount) {
+  EXPECT_TRUE(BitVec::zero().is_zero());
+  EXPECT_FALSE(BitVec::ones().is_zero());
+  EXPECT_EQ(BitVec::zero().popcount(), 0);
+  EXPECT_EQ(BitVec::ones().popcount(), 256);
+  BitVec v;
+  v.set(17, true);
+  v.set(250, true);
+  EXPECT_EQ(v.popcount(), 2);
+}
+
+TEST(BitVec, HashDistinguishesValues) {
+  Rng rng(5);
+  std::unordered_set<std::uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    BitVec v;
+    for (auto& w : v.w) w = rng.next_u64();
+    hashes.insert(v.hash());
+  }
+  // Collisions over 1000 random 256-bit values would indicate a broken mixer.
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(BitVec, EqualityIsValueBased) {
+  BitVec a, b;
+  a.set(99, true);
+  EXPECT_FALSE(a == b);
+  b.set(99, true);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace difane

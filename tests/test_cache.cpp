@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "core/authority.hpp"
+#include "partition/partitioner.hpp"
+#include "workload/rulegen.hpp"
+
+namespace difane {
+namespace {
+
+constexpr SwitchId kAuthority = 100;
+
+Rule rule_with(RuleId id, Priority priority, Ternary match, Action action) {
+  Rule r;
+  r.id = id;
+  r.priority = priority;
+  r.match = match;
+  r.action = action;
+  return r;
+}
+
+// Nested dst-prefix chain with distinct actions per level + default.
+RuleTable chain_policy() {
+  RuleTable t;
+  Ternary m32, m24, m16;
+  match_prefix(m32, Field::kIpDst, make_ipv4(10, 1, 1, 1), 32);
+  match_prefix(m24, Field::kIpDst, make_ipv4(10, 1, 1, 0), 24);
+  match_prefix(m16, Field::kIpDst, make_ipv4(10, 1, 0, 0), 16);
+  t.add(rule_with(0, 40, m32, Action::forward(3)));
+  t.add(rule_with(1, 30, m24, Action::drop()));
+  t.add(rule_with(2, 20, m16, Action::forward(2)));
+  t.add(rule_with(3, 10, Ternary::wildcard(), Action::forward(0)));
+  return t;
+}
+
+struct Harness {
+  RuleTable policy;
+  PartitionPlan plan;
+  AuthorityNode node;
+
+  Harness(RuleTable p, CacheStrategy strategy, std::size_t capacity = 1000,
+          std::uint32_t k = 2)
+      : policy(std::move(p)),
+        plan([&] {
+          PartitionerParams params;
+          params.capacity = capacity;
+          return Partitioner(params).build(policy, k);
+        }()),
+        node(kAuthority, strategy) {
+    RuleId base = 1u << 20;
+    for (const auto& partition : plan.partitions()) {
+      node.bind(partition, base);
+      base += 1u << 22;
+    }
+  }
+};
+
+// The central correctness property: with any strategy, the layered lookup
+// (cache band, else redirect to authority) always yields the true policy
+// winner's action, before and after any sequence of cache installs.
+class CacheSemantics
+    : public ::testing::TestWithParam<std::tuple<CacheStrategy, std::uint64_t>> {};
+
+TEST_P(CacheSemantics, LayeredLookupMatchesPolicy) {
+  const auto [strategy, seed] = GetParam();
+  Harness h(classbench_like(400, seed), strategy, /*capacity=*/80, /*k=*/3);
+  FlowTable cache(100000);
+  Rng rng(seed ^ 0xc0ffee);
+  double now = 0.0;
+
+  auto true_action = [&](const BitVec& pkt) {
+    const Rule* w = h.policy.match(pkt);
+    ASSERT_NE(w, nullptr);  // policy has a default
+  };
+  (void)true_action;
+
+  for (int round = 0; round < 1500; ++round) {
+    now += 0.001;
+    BitVec pkt;
+    if (round % 2 == 0) {
+      pkt = Ternary::wildcard().sample_point(rng);
+    } else {
+      pkt = h.policy.at(rng.uniform(0, h.policy.size() - 1)).match.sample_point(rng);
+    }
+    const Rule* winner = h.policy.match(pkt);
+    ASSERT_NE(winner, nullptr);
+
+    const FlowEntry* entry = cache.lookup(pkt, now);
+    if (entry != nullptr && entry->rule.action.type != ActionType::kEncap) {
+      // Terminal cache decision must be the policy's decision.
+      ASSERT_TRUE(entry->rule.action == winner->action)
+          << cache_strategy_name(strategy) << " round " << round << ": cache says "
+          << entry->rule.action.to_string() << " policy says "
+          << winner->action.to_string();
+      continue;
+    }
+    // Miss or shadow redirect: the authority must agree with the policy and
+    // its install must go through.
+    const auto result = h.node.handle(pkt);
+    ASSERT_TRUE(result.has_value());
+    ASSERT_NE(result->winner, nullptr);
+    EXPECT_TRUE(result->winner->action == winner->action);
+    EXPECT_EQ(result->winner->origin_or_self(), winner->id);
+    for (const auto& rule : result->install.rules) {
+      cache.install(rule, Band::kCache, now, /*idle=*/30.0);
+    }
+    // Replay the same packet: it must now terminate in the cache with the
+    // policy's action (every strategy caches at least the matched rule).
+    const FlowEntry* warm = cache.lookup(pkt, now + 1e-4);
+    ASSERT_NE(warm, nullptr);
+    if (warm->rule.action.type != ActionType::kEncap) {
+      EXPECT_TRUE(warm->rule.action == winner->action);
+    }
+  }
+  // The cache saw real traffic; terminal hits must exist for every strategy.
+  EXPECT_GT(cache.stats().hits_per_band[0], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndSeeds, CacheSemantics,
+    ::testing::Combine(::testing::Values(CacheStrategy::kMicroflow,
+                                         CacheStrategy::kDependentSet,
+                                         CacheStrategy::kCoverSet),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(Cache, MicroflowInstallsExactlyOneExactRule) {
+  Harness h(chain_policy(), CacheStrategy::kMicroflow, 1000, 1);
+  const BitVec pkt = PacketBuilder().ip_dst(make_ipv4(10, 1, 1, 1)).build();
+  const auto result = h.node.handle(pkt);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->install.rules.size(), 1u);
+  const auto& rule = result->install.rules[0];
+  EXPECT_EQ(rule.match.care_bits(), static_cast<int>(header_bits_used()));
+  EXPECT_TRUE(rule.action == Action::forward(3));
+  EXPECT_TRUE(rule.match.matches(pkt));
+}
+
+TEST(Cache, DependentSetDragsInWholeChain) {
+  Harness h(chain_policy(), CacheStrategy::kDependentSet, 1000, 1);
+  // Default-rule traffic: closure is default + /16 + /24 + /32 = 4 rules.
+  Rng rng(5);
+  BitVec pkt = PacketBuilder().ip_dst(make_ipv4(99, 0, 0, 1)).build();
+  const auto result = h.node.handle(pkt);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->install.rules.size(), 4u);
+  (void)rng;
+}
+
+TEST(Cache, CoverSetSplicesTheChain) {
+  Harness h(chain_policy(), CacheStrategy::kCoverSet, 1000, 1);
+  // Default-rule traffic: cover-set = default + one shadow for the /16 only.
+  BitVec pkt = PacketBuilder().ip_dst(make_ipv4(99, 0, 0, 1)).build();
+  const auto result = h.node.handle(pkt);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->install.rules.size(), 2u);
+  const auto& shadow = result->install.rules[1];
+  EXPECT_EQ(shadow.action.type, ActionType::kEncap);
+  EXPECT_EQ(shadow.action.arg, kAuthority);
+  // The shadow sits at the /16's priority, above the cached default.
+  EXPECT_GT(shadow.priority, result->install.rules[0].priority);
+}
+
+TEST(Cache, CoverSetShadowRedirectsStolenTraffic) {
+  Harness h(chain_policy(), CacheStrategy::kCoverSet, 1000, 1);
+  FlowTable cache(1000);
+  // Cache the default rule via a packet outside the chain.
+  const BitVec outside = PacketBuilder().ip_dst(make_ipv4(99, 0, 0, 1)).build();
+  const auto result = h.node.handle(outside);
+  ASSERT_TRUE(result.has_value());
+  for (const auto& rule : result->install.rules) {
+    cache.install(rule, Band::kCache, 0.0);
+  }
+  // A packet the /24 drop rule owns must NOT be forwarded by the cached
+  // default: it must hit the shadow redirect.
+  const BitVec stolen = PacketBuilder().ip_dst(make_ipv4(10, 1, 1, 7)).build();
+  const FlowEntry* entry = cache.lookup(stolen, 1.0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->rule.action.type, ActionType::kEncap);
+}
+
+TEST(Cache, CostsReflectStrategy) {
+  Harness dep(chain_policy(), CacheStrategy::kDependentSet, 1000, 1);
+  Harness cov(chain_policy(), CacheStrategy::kCoverSet, 1000, 1);
+  Harness micro(chain_policy(), CacheStrategy::kMicroflow, 1000, 1);
+  const auto pid = dep.plan.partitions()[0].id;
+  const auto dep_costs = dep.node.splice_costs(pid);
+  const auto cov_costs = cov.node.splice_costs(pid);
+  const auto micro_costs = micro.node.splice_costs(pid);
+  ASSERT_EQ(dep_costs.size(), 4u);
+  // Table order: /32 (prio 40), /24, /16, default.
+  EXPECT_EQ(dep_costs[0], 1u);
+  EXPECT_EQ(dep_costs[1], 2u);
+  EXPECT_EQ(dep_costs[2], 3u);
+  EXPECT_EQ(dep_costs[3], 4u);
+  EXPECT_EQ(cov_costs[3], 2u);  // default + one shadow
+  for (const auto c : micro_costs) EXPECT_EQ(c, 1u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_LE(cov_costs[i], dep_costs[i]);
+}
+
+TEST(Cache, HandleReturnsNulloptOutsideBoundPartitions) {
+  // Nested chains cannot split (the broad rule rides every cut), so use a
+  // generated ACL, which fans out into many partitions.
+  const auto policy = classbench_like(120, 77);
+  PartitionerParams params;
+  params.capacity = 30;
+  const auto plan = Partitioner(params).build(policy, 2);
+  ASSERT_GT(plan.partitions().size(), 1u);
+  AuthorityNode node(kAuthority, CacheStrategy::kDependentSet);
+  node.bind(plan.partitions()[0], 1u << 20);  // bind only one partition
+  // A packet in a different partition is not ours.
+  Rng rng(9);
+  bool saw_unbound = false;
+  for (int i = 0; i < 200 && !saw_unbound; ++i) {
+    const BitVec pkt = Ternary::wildcard().sample_point(rng);
+    if (!plan.partitions()[0].region.matches(pkt)) {
+      EXPECT_FALSE(node.handle(pkt).has_value());
+      saw_unbound = true;
+    }
+  }
+  EXPECT_TRUE(saw_unbound);
+}
+
+TEST(Cache, StrategyNames) {
+  EXPECT_STREQ(cache_strategy_name(CacheStrategy::kMicroflow), "microflow");
+  EXPECT_STREQ(cache_strategy_name(CacheStrategy::kDependentSet), "dependent-set");
+  EXPECT_STREQ(cache_strategy_name(CacheStrategy::kCoverSet), "cover-set");
+}
+
+}  // namespace
+}  // namespace difane

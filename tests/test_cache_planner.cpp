@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core/cache_planner.hpp"
+#include "flowspace/header.hpp"
+#include "workload/rulegen.hpp"
+
+namespace difane {
+namespace {
+
+Rule rule_with(RuleId id, Priority priority, Ternary match, Action action,
+               double weight) {
+  Rule r;
+  r.id = id;
+  r.priority = priority;
+  r.match = match;
+  r.action = action;
+  r.weight = weight;
+  return r;
+}
+
+// /32 (light) above /24 (light) above /16 (light) above default (heavy).
+RuleTable chain_policy() {
+  RuleTable t;
+  Ternary m32, m24, m16;
+  match_prefix(m32, Field::kIpDst, make_ipv4(10, 1, 1, 1), 32);
+  match_prefix(m24, Field::kIpDst, make_ipv4(10, 1, 1, 0), 24);
+  match_prefix(m16, Field::kIpDst, make_ipv4(10, 1, 0, 0), 16);
+  t.add(rule_with(0, 40, m32, Action::forward(3), 0.05));
+  t.add(rule_with(1, 30, m24, Action::drop(), 0.05));
+  t.add(rule_with(2, 20, m16, Action::forward(2), 0.10));
+  t.add(rule_with(3, 10, Ternary::wildcard(), Action::forward(0), 0.80));
+  return t;
+}
+
+TEST(CachePlanner, CoverSetCachesHeavyRuleCheaply) {
+  const auto policy = chain_policy();
+  const auto graph = build_dependency_graph(policy);
+  // Budget 2: cover-set can take the heavy default (1 rule + 1 shadow for
+  // the /16); dependent-set cannot (needs the whole chain, cost 4).
+  const auto cover = plan_cache(policy, graph, CacheStrategy::kCoverSet, 2);
+  const auto dep = plan_cache(policy, graph, CacheStrategy::kDependentSet, 2);
+  EXPECT_NEAR(cover.covered_weight, 0.80, 1e-9);
+  EXPECT_EQ(cover.entries_used, 2u);
+  EXPECT_LT(dep.covered_weight, 0.80);
+  EXPECT_GT(cover.expected_hit_rate(), dep.expected_hit_rate());
+}
+
+TEST(CachePlanner, DependentSetTakesWholeChainWhenBudgetAllows) {
+  const auto policy = chain_policy();
+  const auto graph = build_dependency_graph(policy);
+  const auto plan = plan_cache(policy, graph, CacheStrategy::kDependentSet, 4);
+  EXPECT_EQ(plan.entries_used, 4u);
+  EXPECT_NEAR(plan.covered_weight, 1.0, 1e-9);
+  EXPECT_NEAR(plan.expected_hit_rate(), 1.0, 1e-9);
+}
+
+TEST(CachePlanner, RespectsBudget) {
+  const auto policy = classbench_like(300, 5);
+  const auto graph = build_dependency_graph(policy);
+  for (const std::size_t budget : {0u, 1u, 10u, 50u}) {
+    for (const auto strategy :
+         {CacheStrategy::kDependentSet, CacheStrategy::kCoverSet}) {
+      const auto plan = plan_cache(policy, graph, strategy, budget);
+      EXPECT_LE(plan.entries_used, budget);
+      EXPECT_LE(plan.covered_weight, plan.total_weight + 1e-9);
+    }
+  }
+}
+
+TEST(CachePlanner, HitRateMonotoneInBudget) {
+  const auto policy = classbench_like(400, 7);
+  const auto graph = build_dependency_graph(policy);
+  for (const auto strategy :
+       {CacheStrategy::kDependentSet, CacheStrategy::kCoverSet}) {
+    double prev = -1.0;
+    for (const std::size_t budget : {5u, 20u, 80u, 320u}) {
+      const auto plan = plan_cache(policy, graph, strategy, budget);
+      EXPECT_GE(plan.expected_hit_rate(), prev - 1e-12);
+      prev = plan.expected_hit_rate();
+    }
+  }
+}
+
+TEST(CachePlanner, MicroflowRejected) {
+  const auto policy = chain_policy();
+  const auto graph = build_dependency_graph(policy);
+  EXPECT_THROW(plan_cache(policy, graph, CacheStrategy::kMicroflow, 4),
+               contract_violation);
+}
+
+// Materialized plans must preserve semantics: a cache-table hit is either
+// the true policy winner's action or a redirect.
+class PlannerSemantics
+    : public ::testing::TestWithParam<std::tuple<CacheStrategy, std::size_t>> {};
+
+TEST_P(PlannerSemantics, MaterializedCacheNeverMisforwards) {
+  const auto [strategy, budget] = GetParam();
+  const auto policy = classbench_like(300, 11);
+  const auto graph = build_dependency_graph(policy);
+  const auto plan = plan_cache(policy, graph, strategy, budget);
+  const auto rules = materialize_plan(policy, graph, plan, strategy,
+                                      /*authority=*/77, /*synth base=*/1u << 24);
+  EXPECT_LE(rules.size(), budget);
+  RuleTable cache(rules);
+  Rng rng(13);
+  for (int i = 0; i < 3000; ++i) {
+    const BitVec pkt = (i % 2 == 0)
+                           ? Ternary::wildcard().sample_point(rng)
+                           : policy.at(rng.uniform(0, policy.size() - 1))
+                                 .match.sample_point(rng);
+    const Rule* hit = cache.match(pkt);
+    if (hit == nullptr || hit->action.type == ActionType::kEncap) continue;
+    const Rule* want = policy.match(pkt);
+    ASSERT_NE(want, nullptr);
+    EXPECT_TRUE(hit->action == want->action)
+        << "budget " << budget << ": cache " << hit->to_string() << " policy "
+        << want->to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndBudgets, PlannerSemantics,
+    ::testing::Combine(::testing::Values(CacheStrategy::kDependentSet,
+                                         CacheStrategy::kCoverSet),
+                       ::testing::Values(std::size_t{10}, std::size_t{60},
+                                         std::size_t{200})));
+
+TEST(CachePlanner, PlannedHitRateMatchesWeightedSample) {
+  // Cross-check the analytic hit rate against sampling: draw packets by rule
+  // weight and count terminal cache hits.
+  const auto policy = classbench_like(250, 17);
+  const auto graph = build_dependency_graph(policy);
+  const auto plan = plan_cache(policy, graph, CacheStrategy::kDependentSet, 120);
+  const auto rules = materialize_plan(policy, graph, plan,
+                                      CacheStrategy::kDependentSet, 77, 1u << 24);
+  RuleTable cache(rules);
+  Rng rng(19);
+  std::vector<double> weights;
+  for (const auto& rule : policy.rules()) weights.push_back(std::max(rule.weight, 1e-12));
+  std::size_t terminal = 0;
+  const int n = 8000;
+  int counted = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto ridx = rng.weighted_index(weights);
+    const BitVec pkt = policy.at(ridx).match.sample_point(rng);
+    // Only count samples whose winner is the sampled rule (otherwise the
+    // sample's weight attribution is off).
+    const Rule* want = policy.match(pkt);
+    if (want == nullptr || want->id != policy.at(ridx).id) continue;
+    ++counted;
+    const Rule* hit = cache.match(pkt);
+    if (hit != nullptr && hit->action.type != ActionType::kEncap) ++terminal;
+  }
+  ASSERT_GT(counted, n / 2);
+  const double sampled = static_cast<double>(terminal) / counted;
+  EXPECT_NEAR(sampled, plan.expected_hit_rate(), 0.12);
+}
+
+}  // namespace
+}  // namespace difane

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "ctrlchan/channel.hpp"
+#include "flowspace/header.hpp"
+
+namespace difane {
+namespace {
+
+Rule rule_of(RuleId id, Priority priority, Action action = Action::drop(),
+             RuleId origin = kInvalidRuleId) {
+  Rule r;
+  r.id = id;
+  r.priority = priority;
+  r.action = action;
+  r.origin = origin;
+  return r;
+}
+
+struct Fixture {
+  Engine engine;
+  Switch sw{0, /*cache=*/100};
+  SwitchAgent agent{engine, sw};
+};
+
+TEST(SwitchAgent, FlowModAddAppliesAndReplies) {
+  Fixture f;
+  std::optional<FlowModReply> reply;
+  FlowMod mod;
+  mod.xid = 7;
+  mod.rule = rule_of(1, 10);
+  f.agent.deliver(mod, [&](const Reply& r) { reply = std::get<FlowModReply>(r); });
+  f.engine.run();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->xid, 7u);
+  EXPECT_TRUE(reply->ok);
+  EXPECT_EQ(f.sw.table().size(Band::kCache), 1u);
+  EXPECT_EQ(f.agent.applied(), 1u);
+}
+
+TEST(SwitchAgent, FlowModDeleteRemovesEntry) {
+  Fixture f;
+  FlowMod add;
+  add.rule = rule_of(1, 10);
+  f.agent.deliver(add);
+  FlowMod del;
+  del.op = FlowModOp::kDelete;
+  del.rule.id = 1;
+  std::optional<FlowModReply> reply;
+  f.agent.deliver(del, [&](const Reply& r) { reply = std::get<FlowModReply>(r); });
+  f.engine.run();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok);
+  EXPECT_EQ(f.sw.table().size(Band::kCache), 0u);
+}
+
+TEST(SwitchAgent, DeleteMissingEntryRepliesNotOk) {
+  Fixture f;
+  FlowMod del;
+  del.op = FlowModOp::kDelete;
+  del.rule.id = 42;
+  std::optional<FlowModReply> reply;
+  f.agent.deliver(del, [&](const Reply& r) { reply = std::get<FlowModReply>(r); });
+  f.engine.run();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_FALSE(reply->ok);
+}
+
+TEST(SwitchAgent, MessagesApplyInOrderAndBarrierWaits) {
+  Fixture f;
+  std::vector<int> order;
+  FlowMod a;
+  a.rule = rule_of(1, 10);
+  FlowMod b;
+  b.rule = rule_of(2, 20);
+  f.agent.deliver(a, [&](const Reply&) { order.push_back(1); });
+  f.agent.deliver(b, [&](const Reply&) { order.push_back(2); });
+  BarrierRequest barrier{99};
+  f.agent.deliver(barrier, [&](const Reply& r) {
+    order.push_back(3);
+    EXPECT_EQ(std::get<BarrierReply>(r).xid, 99u);
+    // Both earlier flow-mods are already applied when the barrier fires.
+    EXPECT_EQ(f.sw.table().size(Band::kCache), 2u);
+  });
+  f.engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SwitchAgent, FlowModsTakeTimeToApply) {
+  Fixture f;
+  FlowMod a;
+  a.rule = rule_of(1, 10);
+  double applied_at = -1.0;
+  f.agent.deliver(a, [&](const Reply&) { applied_at = f.engine.now(); });
+  f.engine.run();
+  EXPECT_GT(applied_at, 0.0);  // flow_mod_cost elapsed
+}
+
+TEST(SwitchAgent, PacketOutInvokesHandler) {
+  Fixture f;
+  std::optional<PacketOut> seen;
+  f.agent.set_packet_out_handler([&](const PacketOut& po) { seen = po; });
+  PacketOut po;
+  po.xid = 5;
+  po.header = PacketBuilder().ip_proto(6).build();
+  po.action = Action::forward(2);
+  f.agent.deliver(po);
+  f.engine.run();
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_TRUE(seen->action == Action::forward(2));
+}
+
+TEST(SwitchAgent, StatsAggregatePerOrigin) {
+  Fixture f;
+  // Two clipped copies of policy rule 100 plus one unrelated rule.
+  Ternary tcp;
+  match_exact(tcp, Field::kIpProto, 6);
+  Rule copy1 = rule_of(1000, 10, Action::forward(1), /*origin=*/100);
+  copy1.match = tcp;
+  Rule copy2 = rule_of(1001, 10, Action::forward(1), /*origin=*/100);
+  Ternary udp;
+  match_exact(udp, Field::kIpProto, 17);
+  copy2.match = udp;
+  Rule other = rule_of(2000, 5, Action::drop(), /*origin=*/200);
+  Ternary icmp;
+  match_exact(icmp, Field::kIpProto, 1);
+  other.match = icmp;  // cache band outranks authority band; keep it narrow
+
+  f.sw.table().install(copy1, Band::kAuthority, 0.0);
+  f.sw.table().install(copy2, Band::kAuthority, 0.0);
+  f.sw.table().install(other, Band::kCache, 0.0);
+
+  f.sw.table().lookup(PacketBuilder().ip_proto(6).build(), 1.0, 50);
+  f.sw.table().lookup(PacketBuilder().ip_proto(17).build(), 1.0, 70);
+  f.sw.table().lookup(PacketBuilder().ip_proto(1).build(), 1.0, 10);  // other
+
+  std::optional<FlowStatsReply> reply;
+  f.agent.deliver(FlowStatsRequest{1, kInvalidRuleId},
+                  [&](const Reply& r) { reply = std::get<FlowStatsReply>(r); });
+  f.engine.run();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->entries.size(), 2u);
+  const auto& origin100 = reply->entries[0].origin == 100 ? reply->entries[0]
+                                                          : reply->entries[1];
+  EXPECT_EQ(origin100.origin, 100u);
+  EXPECT_EQ(origin100.packets, 2u);
+  EXPECT_EQ(origin100.bytes, 120u);
+  EXPECT_EQ(origin100.installed_copies, 2u);
+}
+
+TEST(SwitchAgent, StatsFilterByOrigin) {
+  Fixture f;
+  f.sw.table().install(rule_of(1, 10, Action::drop(), 100), Band::kCache, 0.0);
+  f.sw.table().install(rule_of(2, 5, Action::drop(), 200), Band::kCache, 0.0);
+  std::optional<FlowStatsReply> reply;
+  f.agent.deliver(FlowStatsRequest{1, 200},
+                  [&](const Reply& r) { reply = std::get<FlowStatsReply>(r); });
+  f.engine.run();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->entries.size(), 1u);
+  EXPECT_EQ(reply->entries[0].origin, 200u);
+}
+
+TEST(SwitchAgent, StatsExcludeRedirectPlumbing) {
+  Fixture f;
+  // A shadow (encap) rule and a partition rule must not appear.
+  f.sw.table().install(rule_of(1, 10, Action::encap(7), 100), Band::kCache, 0.0);
+  f.sw.table().install(rule_of(2, 0, Action::encap(7)), Band::kPartition, 0.0);
+  f.sw.table().lookup(BitVec{}, 1.0, 10);
+  const auto rows = collect_stats(f.sw);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(SwitchAgent, RetiredCountersSurviveEviction) {
+  Engine engine;
+  Switch sw(0, /*cache=*/1);  // single-entry cache: every install evicts
+  Ternary tcp;
+  match_exact(tcp, Field::kIpProto, 6);
+  Rule hot = rule_of(1, 10, Action::forward(0), 100);
+  hot.match = tcp;
+  sw.table().install(hot, Band::kCache, 0.0);
+  sw.table().lookup(PacketBuilder().ip_proto(6).build(), 0.5, 30);
+  // Evict by installing a different rule.
+  sw.table().install(rule_of(2, 5, Action::drop(), 200), Band::kCache, 1.0);
+  const auto rows = collect_stats(sw);
+  bool found = false;
+  for (const auto& row : rows) {
+    if (row.origin == 100) {
+      found = true;
+      EXPECT_EQ(row.packets, 1u);
+      EXPECT_EQ(row.bytes, 30u);
+      EXPECT_EQ(row.installed_copies, 0u);  // retired, no live copy
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MergeStats, FoldsAcrossSwitches) {
+  std::vector<std::vector<FlowStatsEntry>> per_switch(2);
+  per_switch[0].push_back({100, 5, 500, 1});
+  per_switch[0].push_back({200, 1, 100, 1});
+  per_switch[1].push_back({100, 7, 700, 2});
+  const auto merged = merge_stats(per_switch);
+  ASSERT_EQ(merged.size(), 2u);
+  const auto& origin100 = merged[0].origin == 100 ? merged[0] : merged[1];
+  EXPECT_EQ(origin100.packets, 12u);
+  EXPECT_EQ(origin100.bytes, 1200u);
+  EXPECT_EQ(origin100.installed_copies, 3u);
+}
+
+TEST(ControlChannel, RoundTripPaysLatencyBothWays) {
+  Fixture f;
+  ControlChannel channel(f.engine, f.agent, /*one_way=*/0.005);
+  double replied_at = -1.0;
+  FlowMod mod;
+  mod.rule = rule_of(1, 10);
+  channel.send(mod, [&](const Reply&) { replied_at = f.engine.now(); });
+  f.engine.run();
+  EXPECT_GE(replied_at, 0.010);  // two one-way trips plus apply cost
+  EXPECT_EQ(channel.sent(), 1u);
+  EXPECT_EQ(f.sw.table().size(Band::kCache), 1u);
+}
+
+TEST(ControlChannel, PreservesSendOrder) {
+  Fixture f;
+  ControlChannel channel(f.engine, f.agent, 0.001);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    FlowMod mod;
+    mod.rule = rule_of(static_cast<RuleId>(i + 1), 10);
+    channel.send(mod, [&order, i](const Reply&) { order.push_back(i); });
+  }
+  f.engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(f.sw.table().size(Band::kCache), 5u);
+}
+
+}  // namespace
+}  // namespace difane

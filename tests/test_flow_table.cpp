@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "switchsim/flow_table.hpp"
+#include "flowspace/header.hpp"
+
+namespace difane {
+namespace {
+
+Rule rule_of(RuleId id, Priority priority, Action action = Action::drop()) {
+  Rule r;
+  r.id = id;
+  r.priority = priority;
+  r.action = action;
+  return r;
+}
+
+Rule proto_rule(RuleId id, Priority priority, std::uint8_t proto, Action action) {
+  Rule r = rule_of(id, priority, action);
+  match_exact(r.match, Field::kIpProto, proto);
+  return r;
+}
+
+TEST(FlowTable, BandOrderBeatsNumericPriority) {
+  FlowTable ft(10);
+  // Low-priority cache rule must still beat a high-priority partition rule.
+  ft.install(rule_of(1, 1, Action::forward(1)), Band::kCache, 0.0);
+  ft.install(rule_of(2, 1000, Action::encap(9)), Band::kPartition, 0.0);
+  ft.install(rule_of(3, 500, Action::forward(3)), Band::kAuthority, 0.0);
+  const FlowEntry* e = ft.lookup(BitVec{}, 1.0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->rule.id, 1u);
+  EXPECT_EQ(e->band, Band::kCache);
+  ft.remove(1, Band::kCache);
+  e = ft.lookup(BitVec{}, 1.0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->band, Band::kAuthority);
+}
+
+TEST(FlowTable, PriorityWithinBand) {
+  FlowTable ft(10);
+  ft.install(proto_rule(1, 10, 6, Action::forward(1)), Band::kCache, 0.0);
+  ft.install(rule_of(2, 5, Action::drop()), Band::kCache, 0.0);
+  const FlowEntry* e = ft.lookup(PacketBuilder().ip_proto(6).build(), 0.5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->rule.id, 1u);
+  e = ft.lookup(PacketBuilder().ip_proto(17).build(), 0.5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->rule.id, 2u);
+}
+
+TEST(FlowTable, IdleTimeoutExpiresWithoutTraffic) {
+  FlowTable ft(10);
+  ft.install(rule_of(1, 1), Band::kCache, 0.0, /*idle=*/2.0);
+  EXPECT_NE(ft.lookup(BitVec{}, 1.0), nullptr);   // refreshes last_hit to 1.0
+  EXPECT_NE(ft.lookup(BitVec{}, 2.9), nullptr);   // 1.9s idle, still alive
+  EXPECT_EQ(ft.lookup(BitVec{}, 5.0), nullptr);   // 2.1s idle: gone
+  EXPECT_EQ(ft.size(Band::kCache), 0u);
+  EXPECT_EQ(ft.stats().expirations, 1u);
+}
+
+TEST(FlowTable, HardTimeoutExpiresDespiteTraffic) {
+  FlowTable ft(10);
+  ft.install(rule_of(1, 1), Band::kCache, 0.0, /*idle=*/0.0, /*hard=*/1.0);
+  EXPECT_NE(ft.lookup(BitVec{}, 0.5), nullptr);
+  EXPECT_NE(ft.lookup(BitVec{}, 0.99), nullptr);
+  EXPECT_EQ(ft.lookup(BitVec{}, 1.0), nullptr);
+}
+
+TEST(FlowTable, ProactiveBandsNeverExpire) {
+  FlowTable ft(10);
+  ft.install(rule_of(1, 1), Band::kAuthority, 0.0);
+  ft.install(rule_of(2, 1), Band::kPartition, 0.0);
+  EXPECT_EQ(ft.expire(1e9), 0u);
+  EXPECT_EQ(ft.total_size(), 2u);
+}
+
+TEST(FlowTable, LruEvictionPicksColdestEntry) {
+  FlowTable ft(2);
+  ft.install(proto_rule(1, 10, 6, Action::drop()), Band::kCache, 0.0);
+  ft.install(proto_rule(2, 10, 17, Action::drop()), Band::kCache, 0.0);
+  // Touch rule 1 so rule 2 is the LRU victim.
+  ft.lookup(PacketBuilder().ip_proto(6).build(), 1.0);
+  ft.install(proto_rule(3, 10, 1, Action::drop()), Band::kCache, 2.0);
+  EXPECT_EQ(ft.size(Band::kCache), 2u);
+  EXPECT_NE(ft.find(1, Band::kCache), nullptr);
+  EXPECT_EQ(ft.find(2, Band::kCache), nullptr);
+  EXPECT_NE(ft.find(3, Band::kCache), nullptr);
+  EXPECT_EQ(ft.stats().evictions, 1u);
+}
+
+TEST(FlowTable, ZeroCacheCapacityRejectsInstall) {
+  FlowTable ft(0);
+  EXPECT_FALSE(ft.install(rule_of(1, 1), Band::kCache, 0.0));
+  EXPECT_EQ(ft.stats().install_rejected, 1u);
+}
+
+TEST(FlowTable, HwCapacityBoundsProactiveBands) {
+  FlowTable ft(10, /*hw_capacity=*/2);
+  EXPECT_TRUE(ft.install(rule_of(1, 1), Band::kAuthority, 0.0));
+  EXPECT_TRUE(ft.install(rule_of(2, 1), Band::kPartition, 0.0));
+  EXPECT_FALSE(ft.install(rule_of(3, 1), Band::kAuthority, 0.0));
+  // Cache band has its own budget.
+  EXPECT_TRUE(ft.install(rule_of(4, 1), Band::kCache, 0.0));
+}
+
+TEST(FlowTable, ReinstallSameIdRefreshesInPlace) {
+  FlowTable ft(2);
+  ft.install(rule_of(1, 1), Band::kCache, 0.0, 1.0);
+  ft.install(rule_of(2, 1), Band::kCache, 0.0, 1.0);
+  // Reinstall id 1 at t=0.9: no eviction, timeouts restart.
+  EXPECT_TRUE(ft.install(rule_of(1, 1), Band::kCache, 0.9, 1.0));
+  EXPECT_EQ(ft.size(Band::kCache), 2u);
+  EXPECT_EQ(ft.stats().evictions, 0u);
+  EXPECT_NE(ft.lookup(BitVec{}, 1.5), nullptr);  // id 1 alive (idle since 0.9)
+}
+
+TEST(FlowTable, CountersMonotone) {
+  FlowTable ft(4);
+  ft.install(rule_of(1, 1), Band::kCache, 0.0);
+  ft.lookup(BitVec{}, 0.1, 100);
+  ft.lookup(BitVec{}, 0.2, 200);
+  const FlowEntry* e = ft.find(1, Band::kCache);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->packets, 2u);
+  EXPECT_EQ(e->bytes, 300u);
+  EXPECT_EQ(ft.stats().hits_per_band[0], 2u);
+}
+
+TEST(FlowTable, MissCountedWhenNothingMatches) {
+  FlowTable ft(4);
+  ft.install(proto_rule(1, 1, 6, Action::drop()), Band::kCache, 0.0);
+  EXPECT_EQ(ft.lookup(PacketBuilder().ip_proto(17).build(), 0.1), nullptr);
+  EXPECT_EQ(ft.stats().misses, 1u);
+}
+
+TEST(FlowTable, PeekDoesNotMutate) {
+  FlowTable ft(4);
+  ft.install(rule_of(1, 1), Band::kCache, 0.0, 1.0);
+  EXPECT_NE(ft.peek(BitVec{}, 0.5), nullptr);
+  EXPECT_EQ(ft.find(1, Band::kCache)->packets, 0u);
+  // peek respects (but does not apply) expiry.
+  EXPECT_EQ(ft.peek(BitVec{}, 5.0), nullptr);
+  EXPECT_EQ(ft.size(Band::kCache), 1u);
+}
+
+TEST(FlowTable, EvictionCascadesToGuardedDependents) {
+  // A protected pair: protector P and child C installed as one group (C
+  // lists P as a guard). Evicting P must also remove C — otherwise C would
+  // silently steal P's packets (the wildcard-caching safety rule).
+  FlowTable ft(3);
+  Rule protector = proto_rule(1, 100, 6, Action::drop());
+  Rule child = rule_of(2, 10, Action::forward(0));
+  ft.install(protector, Band::kCache, 0.0);
+  ft.install(child, Band::kCache, 0.0, 0.0, 0.0, /*guards=*/{1});
+  // Make the protector the LRU victim, then overflow the cache.
+  ft.lookup(BitVec{}, 1.0);  // hits child (udp-side traffic)
+  ft.install(proto_rule(3, 50, 17, Action::drop()), Band::kCache, 2.0);
+  ft.install(proto_rule(4, 50, 1, Action::drop()), Band::kCache, 3.0);  // overflow
+  // Victim was the protector (never hit); the guarded child must be gone too.
+  EXPECT_EQ(ft.find(1, Band::kCache), nullptr);
+  EXPECT_EQ(ft.find(2, Band::kCache), nullptr);
+  EXPECT_GE(ft.stats().cascade_evictions, 1u);
+}
+
+TEST(FlowTable, GuardsStayWarmWhileDependentIsHot) {
+  // Hits on a guarded entry refresh its guards: a protector that never wins
+  // on its own must not idle out (and cascade the hot entry away) while the
+  // entry it protects keeps seeing traffic.
+  FlowTable ft(10);
+  Rule protector = proto_rule(1, 100, 6, Action::drop());
+  Rule child = rule_of(2, 10, Action::forward(0));
+  ft.install(protector, Band::kCache, 0.0, /*idle=*/1.0);
+  ft.install(child, Band::kCache, 0.0, /*idle=*/1.0, 0.0, /*guards=*/{1});
+  // Only the child is hit, but the whole group stays warm.
+  for (double t = 0.5; t < 3.0; t += 0.5) {
+    ft.lookup(PacketBuilder().ip_proto(17).build(), t);  // udp: hits child only
+  }
+  EXPECT_NE(ft.find(1, Band::kCache), nullptr);
+  EXPECT_NE(ft.find(2, Band::kCache), nullptr);
+  // Once traffic stops, the group expires together; neither survives alone.
+  ft.expire(10.0);
+  EXPECT_EQ(ft.find(1, Band::kCache), nullptr);
+  EXPECT_EQ(ft.find(2, Band::kCache), nullptr);
+}
+
+TEST(FlowTable, ExpiryCascadesToGuardedDependents) {
+  // A guarded entry with a *longer* idle timeout than its protector: when
+  // the protector finally expires, the still-alive dependent must go too.
+  FlowTable ft(10);
+  Rule protector = proto_rule(1, 100, 6, Action::drop());
+  Rule child = rule_of(2, 10, Action::forward(0));
+  ft.install(protector, Band::kCache, 0.0, /*idle=*/1.0);
+  ft.install(child, Band::kCache, 0.0, /*idle=*/100.0, 0.0, /*guards=*/{1});
+  ft.expire(5.0);  // protector idle 5s > 1s; child would live on its own
+  EXPECT_EQ(ft.find(1, Band::kCache), nullptr);
+  EXPECT_EQ(ft.find(2, Band::kCache), nullptr);  // cascaded away with it
+}
+
+TEST(FlowTable, CascadeIsTransitive) {
+  FlowTable ft(10);
+  ft.install(proto_rule(1, 100, 6, Action::drop()), Band::kCache, 0.0);
+  ft.install(proto_rule(2, 50, 17, Action::drop()), Band::kCache, 0.0, 0.0, 0.0, {1});
+  ft.install(rule_of(3, 10, Action::forward(0)), Band::kCache, 0.0, 0.0, 0.0, {2});
+  ft.remove(1, Band::kCache);
+  EXPECT_EQ(ft.find(2, Band::kCache), nullptr);
+  EXPECT_EQ(ft.find(3, Band::kCache), nullptr);
+  EXPECT_EQ(ft.stats().cascade_evictions, 2u);
+}
+
+TEST(FlowTable, CascadeSparesUnguardedEntries) {
+  FlowTable ft(10);
+  ft.install(proto_rule(1, 100, 6, Action::drop()), Band::kCache, 0.0);   // victim
+  ft.install(proto_rule(2, 50, 17, Action::drop()), Band::kCache, 0.0);   // unrelated
+  ft.install(rule_of(3, 10, Action::forward(1)), Band::kCache, 0.0, 0.0, 0.0, {2});
+  ft.remove(1, Band::kCache);
+  EXPECT_NE(ft.find(2, Band::kCache), nullptr);
+  EXPECT_NE(ft.find(3, Band::kCache), nullptr);
+  EXPECT_EQ(ft.stats().cascade_evictions, 0u);
+}
+
+TEST(FlowTable, ClearBand) {
+  FlowTable ft(4);
+  ft.install(rule_of(1, 1), Band::kPartition, 0.0);
+  ft.install(rule_of(2, 1), Band::kCache, 0.0);
+  ft.clear_band(Band::kPartition);
+  EXPECT_EQ(ft.size(Band::kPartition), 0u);
+  EXPECT_EQ(ft.size(Band::kCache), 1u);
+}
+
+}  // namespace
+}  // namespace difane

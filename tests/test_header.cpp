@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "flowspace/header.hpp"
+#include "util/rng.hpp"
+
+namespace difane {
+namespace {
+
+TEST(Header, LayoutIsContiguousAndFits) {
+  const auto& fields = all_fields();
+  ASSERT_EQ(fields.size(), kNumFields);
+  std::size_t expected_offset = 0;
+  for (const auto& spec : fields) {
+    EXPECT_EQ(spec.offset, expected_offset);
+    expected_offset += spec.width;
+  }
+  EXPECT_EQ(header_bits_used(), expected_offset);
+  EXPECT_LE(header_bits_used(), kHeaderBits);
+  EXPECT_EQ(header_bits_used(), 253u);  // the OpenFlow 1.0 12-tuple
+}
+
+TEST(Header, PacketBuilderRoundTrip) {
+  const BitVec pkt = PacketBuilder()
+                         .ip_src(0x0a000001)
+                         .ip_dst(0xc0a80102)
+                         .ip_proto(6)
+                         .tp_src(12345)
+                         .tp_dst(80)
+                         .in_port(3)
+                         .build();
+  EXPECT_EQ(get_field(pkt, Field::kIpSrc), 0x0a000001u);
+  EXPECT_EQ(get_field(pkt, Field::kIpDst), 0xc0a80102u);
+  EXPECT_EQ(get_field(pkt, Field::kIpProto), 6u);
+  EXPECT_EQ(get_field(pkt, Field::kTpSrc), 12345u);
+  EXPECT_EQ(get_field(pkt, Field::kTpDst), 80u);
+  EXPECT_EQ(get_field(pkt, Field::kInPort), 3u);
+  EXPECT_EQ(get_field(pkt, Field::kEthSrc), 0u);  // untouched fields are zero
+}
+
+TEST(Header, MatchExactOnField) {
+  Ternary t;
+  match_exact(t, Field::kIpProto, 17);
+  EXPECT_TRUE(t.matches(PacketBuilder().ip_proto(17).build()));
+  EXPECT_FALSE(t.matches(PacketBuilder().ip_proto(6).build()));
+}
+
+TEST(Header, MatchPrefixCidrSemantics) {
+  Ternary t;
+  match_prefix(t, Field::kIpDst, make_ipv4(10, 1, 2, 0), 24);
+  EXPECT_TRUE(t.matches(PacketBuilder().ip_dst(make_ipv4(10, 1, 2, 200)).build()));
+  EXPECT_FALSE(t.matches(PacketBuilder().ip_dst(make_ipv4(10, 1, 3, 200)).build()));
+  EXPECT_EQ(t.care_bits(), 24);
+}
+
+TEST(Header, ZeroLengthPrefixMatchesAll) {
+  Ternary t;
+  match_prefix(t, Field::kIpDst, make_ipv4(10, 1, 2, 0), 0);
+  EXPECT_TRUE(t.is_full_wildcard());
+}
+
+TEST(Header, RangeToPrefixesSingleValue) {
+  const auto out = range_to_prefixes(80, 80, 16);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 80u);
+  EXPECT_EQ(out[0].second, 16u);
+}
+
+TEST(Header, RangeToPrefixesFullRange) {
+  const auto out = range_to_prefixes(0, 65535, 16);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, 0u);
+}
+
+TEST(Header, RangeToPrefixesClassicWorstCase) {
+  // [1, 2^16-2] is the classic worst case: 2*(16-1) = 30 prefixes.
+  const auto out = range_to_prefixes(1, 65534, 16);
+  EXPECT_EQ(out.size(), 30u);
+}
+
+class RangeExpansion : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RangeExpansion, CoversExactlyTheRange) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    const std::size_t width = 8;
+    const std::uint64_t lo = rng.uniform(0, 255);
+    const std::uint64_t hi = rng.uniform(lo, 255);
+    const auto prefixes = range_to_prefixes(lo, hi, width);
+    // Exhaustive check over the 8-bit domain: v is covered iff lo<=v<=hi,
+    // and by exactly one prefix (the cover is disjoint).
+    for (std::uint64_t v = 0; v < 256; ++v) {
+      std::size_t covering = 0;
+      for (const auto& [value, plen] : prefixes) {
+        const std::uint64_t mask = plen == 0 ? 0 : (~0ULL << (width - plen)) & 0xff;
+        if ((v & mask) == (value & mask)) ++covering;
+      }
+      EXPECT_EQ(covering, (v >= lo && v <= hi) ? 1u : 0u)
+          << "v=" << v << " lo=" << lo << " hi=" << hi;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeExpansion, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Header, MatchRangeExpandsToPatterns) {
+  Ternary base;
+  match_exact(base, Field::kIpProto, 6);
+  const auto patterns = match_range(base, Field::kTpDst, 1000, 2000);
+  EXPECT_GT(patterns.size(), 1u);
+  // All patterns retain the base constraint and cover the range endpoints.
+  auto covered = [&](std::uint16_t port) {
+    const BitVec p = PacketBuilder().ip_proto(6).tp_dst(port).build();
+    for (const auto& t : patterns) {
+      if (t.matches(p)) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(covered(1000));
+  EXPECT_TRUE(covered(1500));
+  EXPECT_TRUE(covered(2000));
+  EXPECT_FALSE(covered(999));
+  EXPECT_FALSE(covered(2001));
+  const BitVec wrong_proto = PacketBuilder().ip_proto(17).tp_dst(1500).build();
+  for (const auto& t : patterns) EXPECT_FALSE(t.matches(wrong_proto));
+}
+
+TEST(Header, PatternToStringNamesConstrainedFields) {
+  Ternary t;
+  match_exact(t, Field::kIpProto, 6);
+  const auto s = pattern_to_string(t);
+  EXPECT_NE(s.find("ip_proto=00000110"), std::string::npos);
+  EXPECT_EQ(pattern_to_string(Ternary::wildcard()), "*");
+}
+
+TEST(Header, Ipv4Helpers) {
+  EXPECT_EQ(ipv4_to_string(make_ipv4(192, 168, 1, 2)), "192.168.1.2");
+  EXPECT_EQ(make_ipv4(10, 0, 0, 1), 0x0a000001u);
+}
+
+}  // namespace
+}  // namespace difane

@@ -1,0 +1,145 @@
+// Cross-control-plane integration: the comparative claims the paper's
+// evaluation rests on, checked end-to-end through the simulator.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "workload/rulegen.hpp"
+
+namespace difane {
+namespace {
+
+std::vector<FlowSpec> setup_storm(const RuleTable& policy, double rate,
+                                  double duration, std::uint64_t seed) {
+  // Single-packet flows from a huge pool: every flow is a cache miss, so the
+  // offered load is pure flow-setup work.
+  TrafficParams tp;
+  tp.seed = seed;
+  tp.flow_pool = 1u << 20;
+  tp.zipf_s = 0.0;  // uniform popularity: (almost) every flow is distinct
+  tp.arrival_rate = rate;
+  tp.duration = duration;
+  tp.mean_packets = 1.0;
+  tp.max_packets = 1.0;
+  tp.ingress_count = 4;
+  TrafficGenerator gen(policy, tp);
+  return gen.generate();
+}
+
+ScenarioParams base_params(Mode mode, std::uint32_t authorities = 1) {
+  ScenarioParams params;
+  params.mode = mode;
+  params.edge_switches = 4;
+  params.core_switches = std::max<std::size_t>(2, authorities);
+  params.authority_count = authorities;
+  params.edge_cache_capacity = 1u << 20;
+  params.partitioner.capacity = 500;
+  // Setup-storm tests need every distinct flow to miss: microflow caching
+  // keeps wildcard caching from absorbing the storm at the ingress.
+  params.cache_strategy = CacheStrategy::kMicroflow;
+  return params;
+}
+
+TEST(Integration, NoxCompletesSetupsUnderLightLoad) {
+  const auto policy = classbench_like(200, 3);
+  Scenario nox(policy, base_params(Mode::kNox));
+  const auto flows = setup_storm(policy, 1000.0, 0.5, 3);
+  const auto& stats = nox.run(flows);
+  EXPECT_EQ(stats.setup_completions.total(), flows.size());
+  EXPECT_EQ(stats.queue_rejects, 0u);
+  EXPECT_EQ(stats.tracer.in_flight(), 0);
+}
+
+TEST(Integration, NoxFirstPacketDelayDominatedByControllerRtt) {
+  const auto policy = classbench_like(200, 5);
+  Scenario nox(policy, base_params(Mode::kNox));
+  const auto flows = setup_storm(policy, 1000.0, 0.5, 5);
+  const auto& stats = nox.run(flows);
+  ASSERT_GT(stats.tracer.first_packet_delay().count(), 0u);
+  // ~10ms RTT + service: the paper's NOX delay regime.
+  EXPECT_GT(stats.tracer.first_packet_delay().percentile(0.5), 8e-3);
+  EXPECT_LT(stats.tracer.first_packet_delay().percentile(0.5), 30e-3);
+}
+
+TEST(Integration, DifaneFirstPacketDelayFarBelowNox) {
+  const auto policy = classbench_like(200, 7);
+  Scenario difane(policy, base_params(Mode::kDifane));
+  Scenario nox(policy, base_params(Mode::kNox));
+  const auto flows = setup_storm(policy, 1000.0, 0.5, 7);
+  const double d = difane.run(flows).tracer.first_packet_delay().percentile(0.5);
+  const double n = nox.run(flows).tracer.first_packet_delay().percentile(0.5);
+  EXPECT_LT(d * 5, n) << "DIFANE median " << d << " vs NOX median " << n;
+}
+
+TEST(Integration, DifaneSurvivesSetupRatesThatSaturateNox) {
+  const auto policy = classbench_like(200, 9);
+  // 100K flows/s: 2x the NOX controller's capacity, well under one
+  // authority switch's.
+  const auto flows = setup_storm(policy, 100000.0, 0.2, 9);
+  Scenario difane(policy, base_params(Mode::kDifane));
+  Scenario nox(policy, base_params(Mode::kNox));
+  const auto& ds = difane.run(flows);
+  const auto& ns = nox.run(flows);
+  const double difane_rate =
+      static_cast<double>(ds.setup_completions.total()) / 0.2;
+  const double nox_rate = static_cast<double>(ns.setup_completions.total()) / 0.2;
+  EXPECT_GT(difane_rate, 90000.0);
+  EXPECT_LT(nox_rate, 70000.0);  // pinned near the 50K/s controller capacity
+  EXPECT_GT(ns.queue_rejects, 0u);
+  EXPECT_EQ(ds.queue_rejects, 0u);
+}
+
+TEST(Integration, NoxMicroflowCacheServesRepeatedFlows) {
+  const auto policy = classbench_like(150, 11);
+  Scenario nox(policy, base_params(Mode::kNox));
+  TrafficParams tp;
+  tp.seed = 11;
+  tp.flow_pool = 1u << 16;
+  tp.zipf_s = 0.0;  // distinct flows: first packets all punt
+  tp.arrival_rate = 500.0;
+  tp.duration = 1.0;
+  tp.mean_packets = 4.0;
+  tp.packet_gap = 0.05;  // later packets arrive after the install lands
+  tp.ingress_count = 4;
+  TrafficGenerator gen(policy, tp);
+  const auto& stats = nox.run(gen.generate());
+  EXPECT_GT(stats.ingress_cache_hits, 0u);
+  // Later packets of cached flows avoid the controller entirely: their
+  // delays sit far below the punted first-packet delays.
+  ASSERT_GT(stats.tracer.later_packet_delay().count(), 0u);
+  EXPECT_LT(stats.tracer.later_packet_delay().percentile(0.5),
+            stats.tracer.first_packet_delay().percentile(0.5) / 5);
+}
+
+TEST(Integration, MoreAuthoritySwitchesRaiseDifaneCeiling) {
+  const auto policy = classbench_like(300, 13);
+  // 1.2M flows/s saturates one authority switch (800K/s) but not two.
+  const auto flows = setup_storm(policy, 1200000.0, 0.05, 13);
+  Scenario one(policy, base_params(Mode::kDifane, 1));
+  Scenario two(policy, base_params(Mode::kDifane, 2));
+  const auto completed_one = one.run(flows).setup_completions.total();
+  const auto completed_two = two.run(flows).setup_completions.total();
+  EXPECT_GT(completed_two, completed_one + completed_one / 10);
+}
+
+TEST(Integration, DifaneAndNoxAgreeOnPolicySemantics) {
+  const auto policy = classbench_like(250, 17);
+  TrafficParams tp;
+  tp.seed = 17;
+  tp.flow_pool = 120;
+  tp.arrival_rate = 800.0;
+  tp.duration = 0.5;
+  tp.mean_packets = 2.0;
+  tp.ingress_count = 4;
+  Scenario difane(policy, base_params(Mode::kDifane, 2));
+  Scenario nox(policy, base_params(Mode::kNox));
+  TrafficGenerator g1(policy, tp), g2(policy, tp);
+  const auto& ds = difane.run(g1.generate());
+  const auto& ns = nox.run(g2.generate());
+  // Identical traffic: identical per-policy dispositions.
+  EXPECT_EQ(ds.tracer.dropped(DropReason::kPolicyDrop),
+            ns.tracer.dropped(DropReason::kPolicyDrop));
+  EXPECT_EQ(ds.tracer.delivered(), ns.tracer.delivered());
+}
+
+}  // namespace
+}  // namespace difane

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "flowspace/algebra.hpp"
+#include "flowspace/minimize.hpp"
+#include "workload/rulegen.hpp"
+
+namespace difane {
+namespace {
+
+Rule rule_with(RuleId id, Priority priority, Ternary match, Action action) {
+  Rule r;
+  r.id = id;
+  r.priority = priority;
+  r.match = match;
+  r.action = action;
+  return r;
+}
+
+TEST(Minimize, RemovesShadowedRule) {
+  RuleTable t;
+  Ternary broad, narrow;
+  match_exact(broad, Field::kIpProto, 6);
+  narrow = broad;
+  match_exact(narrow, Field::kTpDst, 80);
+  t.add(rule_with(1, 20, broad, Action::drop()));
+  t.add(rule_with(2, 10, narrow, Action::forward(0)));  // fully shadowed
+  t.add(rule_with(3, 0, Ternary::wildcard(), Action::forward(1)));
+  MinimizeStats stats;
+  const auto out = eliminate_shadowed(t, &stats);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out.contains(2));
+  EXPECT_EQ(stats.shadowed_removed, 1u);
+}
+
+TEST(Minimize, MergesAdjacentPorts) {
+  // tp_dst=80 and tp_dst=81 (differ in bit 0), same action/priority -> one
+  // rule matching tp_dst=80/31 (low bit wildcarded).
+  RuleTable t;
+  Ternary p80, p81;
+  match_exact(p80, Field::kTpDst, 80);
+  match_exact(p81, Field::kTpDst, 81);
+  t.add(rule_with(1, 10, p80, Action::drop()));
+  t.add(rule_with(2, 10, p81, Action::drop()));
+  MinimizeStats stats;
+  const auto out = merge_siblings(t, &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.merges, 1u);
+  EXPECT_EQ(out.at(0).id, 1u);
+  EXPECT_TRUE(out.at(0).match.matches(PacketBuilder().tp_dst(80).build()));
+  EXPECT_TRUE(out.at(0).match.matches(PacketBuilder().tp_dst(81).build()));
+  EXPECT_FALSE(out.at(0).match.matches(PacketBuilder().tp_dst(82).build()));
+}
+
+TEST(Minimize, MergeCollapsesWholeRangeExpansion) {
+  // A power-of-two aligned range expands to several prefixes that merge all
+  // the way back down to one rule.
+  RuleTable t;
+  RuleId id = 0;
+  for (const auto& pattern : match_range(Ternary(), Field::kTpDst, 64, 127)) {
+    t.add(rule_with(id++, 10, pattern, Action::drop()));
+  }
+  const auto out = merge_siblings(t, nullptr);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Minimize, DoesNotMergeDifferentActions) {
+  RuleTable t;
+  Ternary p80, p81;
+  match_exact(p80, Field::kTpDst, 80);
+  match_exact(p81, Field::kTpDst, 81);
+  t.add(rule_with(1, 10, p80, Action::drop()));
+  t.add(rule_with(2, 10, p81, Action::forward(0)));
+  EXPECT_EQ(merge_siblings(t, nullptr).size(), 2u);
+}
+
+TEST(Minimize, DoesNotMergeAcrossPriorities) {
+  RuleTable t;
+  Ternary p80, p81;
+  match_exact(p80, Field::kTpDst, 80);
+  match_exact(p81, Field::kTpDst, 81);
+  t.add(rule_with(1, 10, p80, Action::drop()));
+  t.add(rule_with(2, 11, p81, Action::drop()));
+  EXPECT_EQ(merge_siblings(t, nullptr).size(), 2u);
+}
+
+TEST(Minimize, RefusesTieBreakHazardMerge) {
+  // a (id 1) and b (id 3) are mergeable, but c (id 2, same priority,
+  // different action) overlaps b's region: merging would steal c's win.
+  RuleTable t;
+  Ternary p80, p81, c_match;
+  match_exact(p80, Field::kTpDst, 80);
+  match_exact(p81, Field::kTpDst, 81);
+  match_exact(c_match, Field::kTpDst, 81);
+  match_exact(c_match, Field::kIpProto, 6);
+  t.add(rule_with(1, 10, p80, Action::drop()));
+  t.add(rule_with(2, 10, c_match, Action::forward(0)));
+  t.add(rule_with(3, 10, p81, Action::drop()));
+  const auto out = merge_siblings(t, nullptr);
+  EXPECT_EQ(out.size(), 3u);
+  // Winner for (proto 6, port 81) must remain rule 2.
+  const Rule* w = out.match(PacketBuilder().ip_proto(6).tp_dst(81).build());
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->id, 2u);
+}
+
+class MinimizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinimizeProperty, PreservesSemanticsAndShrinks) {
+  const auto policy = classbench_like(600, GetParam());
+  MinimizeStats stats;
+  const auto minimized = minimize(policy, &stats);
+  EXPECT_LE(minimized.size(), policy.size());
+  EXPECT_EQ(stats.before, policy.size());
+  EXPECT_EQ(stats.after, minimized.size());
+  Rng rng(GetParam() ^ 0xbead);
+  const auto diff = find_semantic_difference(policy, minimized, rng, 4000);
+  EXPECT_FALSE(diff.has_value()) << "semantic change at "
+                                 << pattern_to_string(Ternary(*diff, BitVec::ones()));
+}
+
+TEST_P(MinimizeProperty, Idempotent) {
+  const auto policy = campus_like(300, GetParam());
+  const auto once = minimize(policy);
+  MinimizeStats again;
+  const auto twice = minimize(once, &again);
+  EXPECT_EQ(once.size(), twice.size());
+  EXPECT_EQ(again.merges, 0u);
+  EXPECT_EQ(again.shadowed_removed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeProperty, ::testing::Values(2u, 5u, 8u));
+
+}  // namespace
+}  // namespace difane

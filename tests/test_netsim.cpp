@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "netsim/link.hpp"
+#include "netsim/topology.hpp"
+#include "netsim/tracer.hpp"
+
+namespace difane {
+namespace {
+
+TEST(Engine, ExecutesInTimestampOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.at(3.0, [&] { order.push_back(3); });
+  e.at(1.0, [&] { order.push_back(1); });
+  e.at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.executed(), 3u);
+}
+
+TEST(Engine, TiesBreakFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine e;
+  e.at(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.at(1.0, [] {}), contract_violation);
+}
+
+TEST(Engine, ReentrantSchedulingWorks) {
+  Engine e;
+  int fired = 0;
+  e.at(1.0, [&] {
+    ++fired;
+    e.after(1.0, [&] { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(Engine, RunUntilStopsEarly) {
+  Engine e;
+  int fired = 0;
+  e.at(1.0, [&] { ++fired; });
+  e.at(10.0, [&] { ++fired; });
+  e.run(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, MaxEventsBoundsRunawayLoops) {
+  Engine e;
+  std::function<void()> self = [&] { e.after(0.001, self); };
+  e.at(0.0, self);
+  const auto executed = e.run(1e18, 100);
+  EXPECT_EQ(executed, 100u);
+  e.clear();
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Link, PropagationPlusSerialization) {
+  Link link(1e-3, 1e9);  // 1ms, 1Gbps
+  const double t1 = link.send(0.0, 1250);  // 10us serialization
+  EXPECT_NEAR(t1, 1e-3 + 1e-5, 1e-12);
+  // Second packet queues behind the first.
+  const double t2 = link.send(0.0, 1250);
+  EXPECT_NEAR(t2, 1e-3 + 2e-5, 1e-12);
+  EXPECT_EQ(link.packets(), 2u);
+  EXPECT_EQ(link.bytes(), 2500u);
+  EXPECT_GT(link.backlog(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(link.backlog(1.0), 0.0);
+}
+
+TEST(Link, FifoDeliveryOrder) {
+  Link link(1e-4, 1e8);
+  double prev = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const double t = link.send(0.0, 100 + i);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Topology, TwoTierWiring) {
+  Network net;
+  const auto topo = build_two_tier(net, 4, 2, 100, 100);
+  EXPECT_EQ(net.switch_count(), 6u);
+  for (const auto edge : topo.edge) {
+    for (const auto core : topo.core) {
+      EXPECT_TRUE(net.adjacent(edge, core));
+      EXPECT_NE(net.link(edge, core), nullptr);
+    }
+  }
+  // Edge switches are not directly connected.
+  EXPECT_FALSE(net.adjacent(topo.edge[0], topo.edge[1]));
+  EXPECT_EQ(net.distance(topo.edge[0], topo.edge[1]), 2u);
+  EXPECT_EQ(net.distance(topo.edge[0], topo.core[0]), 1u);
+  EXPECT_EQ(net.distance(topo.edge[0], topo.edge[0]), 0u);
+}
+
+TEST(Topology, NextHopWalksShortestPath) {
+  Network net;
+  const auto line = build_line(net, 5, 10);
+  EXPECT_EQ(net.next_hop(line[0], line[4]), line[1]);
+  EXPECT_EQ(net.next_hop(line[3], line[4]), line[4]);
+  EXPECT_EQ(net.distance(line[0], line[4]), 4u);
+}
+
+TEST(Topology, FailedSwitchIsRoutedAround) {
+  Network net;
+  const auto topo = build_two_tier(net, 2, 2, 10, 10);
+  // Fail one core; edge-to-edge routes must use the other.
+  net.set_failed(topo.core[0], true);
+  const auto nh = net.next_hop(topo.edge[0], topo.edge[1]);
+  EXPECT_EQ(nh, topo.core[1]);
+  // Unreachable destination: fail both cores.
+  net.set_failed(topo.core[1], true);
+  EXPECT_EQ(net.next_hop(topo.edge[0], topo.edge[1]), kInvalidSwitch);
+  // Recovery restores routing.
+  net.set_failed(topo.core[0], false);
+  EXPECT_EQ(net.next_hop(topo.edge[0], topo.edge[1]), topo.core[0]);
+}
+
+TEST(Tracer, ConservationAccounting) {
+  Tracer tracer;
+  Packet a, b, c;
+  a.is_first_of_flow = true;
+  a.created = 0.0;
+  tracer.on_injected(a);
+  tracer.on_injected(b);
+  tracer.on_injected(c);
+  EXPECT_EQ(tracer.in_flight(), 3);
+  tracer.on_delivered(a, 0.5);
+  tracer.on_dropped(b, DropReason::kPolicyDrop);
+  EXPECT_EQ(tracer.in_flight(), 1);
+  tracer.on_dropped(c, DropReason::kTtlExceeded);
+  EXPECT_EQ(tracer.in_flight(), 0);
+  EXPECT_EQ(tracer.dropped(DropReason::kPolicyDrop), 1u);
+  EXPECT_EQ(tracer.dropped(DropReason::kTtlExceeded), 1u);
+  EXPECT_EQ(tracer.first_packet_delay().count(), 1u);
+  EXPECT_DOUBLE_EQ(tracer.first_packet_delay().percentile(0.5), 0.5);
+  EXPECT_NE(tracer.summary().find("injected=3"), std::string::npos);
+}
+
+TEST(Tracer, SeparatesFirstAndLaterPacketDelays) {
+  Tracer tracer;
+  Packet first, later;
+  first.is_first_of_flow = true;
+  first.created = 0.0;
+  later.is_first_of_flow = false;
+  later.created = 0.0;
+  tracer.on_injected(first);
+  tracer.on_injected(later);
+  tracer.on_delivered(first, 0.010);
+  tracer.on_delivered(later, 0.001);
+  EXPECT_DOUBLE_EQ(tracer.first_packet_delay().percentile(0.5), 0.010);
+  EXPECT_DOUBLE_EQ(tracer.later_packet_delay().percentile(0.5), 0.001);
+}
+
+TEST(Tracer, RedirectedPacketsCounted) {
+  Tracer tracer;
+  Packet p;
+  p.was_redirected = true;
+  tracer.on_injected(p);
+  tracer.on_delivered(p, 1.0);
+  EXPECT_EQ(tracer.redirected(), 1u);
+}
+
+}  // namespace
+}  // namespace difane

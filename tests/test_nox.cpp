@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "controller/nox.hpp"
+#include "flowspace/header.hpp"
+#include "workload/rulegen.hpp"
+
+namespace difane {
+namespace {
+
+TEST(Nox, DecisionMatchesPolicyAndInstallsMicroflow) {
+  const auto policy = classbench_like(200, 3);
+  NoxControlPlane nox(policy, {});
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const BitVec pkt = Ternary::wildcard().sample_point(rng);
+    const auto decision = nox.handle_punt(static_cast<double>(i), pkt);
+    ASSERT_TRUE(decision.has_value());
+    const Rule* winner = policy.match(pkt);
+    ASSERT_NE(winner, nullptr);
+    EXPECT_EQ(decision->winner, winner);
+    ASSERT_TRUE(decision->cache_rule.has_value());
+    EXPECT_TRUE(decision->cache_rule->action == winner->action);
+    EXPECT_TRUE(decision->cache_rule->match.matches(pkt));
+    EXPECT_EQ(decision->cache_rule->match.care_bits(),
+              static_cast<int>(header_bits_used()));
+    EXPECT_EQ(decision->cache_rule->origin, winner->id);
+  }
+  EXPECT_EQ(nox.punts(), 50u);
+}
+
+TEST(Nox, ServiceTimeSerializesDecisions) {
+  const auto policy = classbench_like(50, 3);
+  NoxParams params;
+  params.service_time = 0.01;
+  params.max_backlog = 10.0;
+  NoxControlPlane nox(policy, params);
+  Rng rng(7);
+  const BitVec pkt = Ternary::wildcard().sample_point(rng);
+  const auto a = nox.handle_punt(0.0, pkt);
+  const auto b = nox.handle_punt(0.0, pkt);
+  ASSERT_TRUE(a && b);
+  EXPECT_DOUBLE_EQ(a->ready_time, 0.01);
+  EXPECT_DOUBLE_EQ(b->ready_time, 0.02);
+}
+
+TEST(Nox, OverloadRejectsPunts) {
+  const auto policy = classbench_like(50, 3);
+  NoxParams params;
+  params.service_time = 0.01;     // 100/s capacity
+  params.max_backlog = 0.05;      // at most ~5 queued
+  NoxControlPlane nox(policy, params);
+  Rng rng(9);
+  const BitVec pkt = Ternary::wildcard().sample_point(rng);
+  std::size_t rejected = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!nox.handle_punt(0.0, pkt).has_value()) ++rejected;
+  }
+  EXPECT_GT(rejected, 80u);
+  EXPECT_EQ(nox.queue().rejected(), rejected);
+}
+
+TEST(Nox, DistinctMicroflowIds) {
+  const auto policy = classbench_like(50, 3);
+  NoxControlPlane nox(policy, {});
+  Rng rng(11);
+  std::set<RuleId> ids;
+  for (int i = 0; i < 30; ++i) {
+    const auto decision =
+        nox.handle_punt(static_cast<double>(i), Ternary::wildcard().sample_point(rng));
+    ASSERT_TRUE(decision.has_value() && decision->cache_rule.has_value());
+    EXPECT_TRUE(ids.insert(decision->cache_rule->id).second);
+  }
+}
+
+TEST(Nox, NoWinnerMeansNoInstall) {
+  RuleTable empty;  // no default: nothing matches
+  NoxControlPlane nox(empty, {});
+  const auto decision = nox.handle_punt(0.0, BitVec{});
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->winner, nullptr);
+  EXPECT_FALSE(decision->cache_rule.has_value());
+}
+
+}  // namespace
+}  // namespace difane

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "flowspace/rule_table.hpp"
+#include "flowspace/header.hpp"
+
+namespace difane {
+namespace {
+
+Rule make_rule(RuleId id, Priority priority, Action action = Action::drop()) {
+  Rule r;
+  r.id = id;
+  r.priority = priority;
+  r.action = action;
+  return r;  // full wildcard match
+}
+
+Rule proto_rule(RuleId id, Priority priority, std::uint8_t proto, Action action) {
+  Rule r = make_rule(id, priority, action);
+  match_exact(r.match, Field::kIpProto, proto);
+  return r;
+}
+
+TEST(RuleTable, OrderedByPriorityThenId) {
+  RuleTable t;
+  t.add(make_rule(2, 10));
+  t.add(make_rule(1, 20));
+  t.add(make_rule(3, 20));
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.at(0).id, 1u);  // prio 20, lower id first
+  EXPECT_EQ(t.at(1).id, 3u);
+  EXPECT_EQ(t.at(2).id, 2u);
+}
+
+TEST(RuleTable, HighestPriorityWins) {
+  RuleTable t;
+  t.add(proto_rule(1, 10, 6, Action::forward(1)));
+  t.add(make_rule(2, 1, Action::drop()));
+  const Rule* r = t.match(PacketBuilder().ip_proto(6).build());
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->id, 1u);
+  r = t.match(PacketBuilder().ip_proto(17).build());
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->id, 2u);
+}
+
+TEST(RuleTable, TieBreakByLowerId) {
+  RuleTable t;
+  t.add(make_rule(7, 5, Action::forward(7)));
+  t.add(make_rule(3, 5, Action::forward(3)));
+  const Rule* r = t.match(BitVec{});
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->id, 3u);
+}
+
+TEST(RuleTable, MatchReturnsNullWithoutDefault) {
+  RuleTable t;
+  t.add(proto_rule(1, 10, 6, Action::drop()));
+  EXPECT_EQ(t.match(PacketBuilder().ip_proto(17).build()), nullptr);
+  EXPECT_FALSE(t.match_index(PacketBuilder().ip_proto(17).build()).has_value());
+  EXPECT_FALSE(t.has_default());
+  t.add(make_rule(2, 0));
+  EXPECT_TRUE(t.has_default());
+}
+
+TEST(RuleTable, AddRemoveContains) {
+  RuleTable t;
+  t.add(make_rule(1, 1));
+  EXPECT_TRUE(t.contains(1));
+  EXPECT_NE(t.find(1), nullptr);
+  EXPECT_TRUE(t.remove(1));
+  EXPECT_FALSE(t.remove(1));
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(RuleTable, DuplicateIdRejected) {
+  RuleTable t;
+  t.add(make_rule(1, 1));
+  EXPECT_THROW(t.add(make_rule(1, 2)), contract_violation);
+  Rule bad;
+  bad.id = kInvalidRuleId;
+  EXPECT_THROW(t.add(bad), contract_violation);
+}
+
+TEST(RuleTable, ConstructorSortsInput) {
+  std::vector<Rule> rules{make_rule(1, 1), make_rule(2, 99), make_rule(3, 50)};
+  RuleTable t(std::move(rules));
+  EXPECT_EQ(t.at(0).priority, 99);
+  EXPECT_EQ(t.at(1).priority, 50);
+  EXPECT_EQ(t.at(2).priority, 1);
+}
+
+TEST(RuleTable, FindShadowedDetectsFullyCoveredRule) {
+  RuleTable t;
+  // prio 20: proto=6; prio 10: proto=6 & port=80 (shadowed); prio 5: wildcard.
+  t.add(proto_rule(1, 20, 6, Action::drop()));
+  Rule shadowed = proto_rule(2, 10, 6, Action::forward(0));
+  match_exact(shadowed.match, Field::kTpDst, 80);
+  t.add(shadowed);
+  t.add(make_rule(3, 5));
+  const auto ids = t.find_shadowed();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 2u);
+}
+
+TEST(RuleTable, PartialOverlapIsNotShadowed) {
+  RuleTable t;
+  Rule narrow = proto_rule(1, 20, 6, Action::drop());
+  match_exact(narrow.match, Field::kTpDst, 80);
+  t.add(narrow);
+  t.add(proto_rule(2, 10, 6, Action::forward(0)));  // wider: not shadowed
+  EXPECT_TRUE(t.find_shadowed().empty());
+}
+
+TEST(RuleTable, TotalWeight) {
+  RuleTable t;
+  Rule a = make_rule(1, 1);
+  a.weight = 0.25;
+  Rule b = make_rule(2, 2);
+  b.weight = 0.5;
+  t.add(a);
+  t.add(b);
+  EXPECT_DOUBLE_EQ(t.total_weight(), 0.75);
+}
+
+}  // namespace
+}  // namespace difane

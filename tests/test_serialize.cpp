@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flowspace/algebra.hpp"
+#include "workload/rulegen.hpp"
+#include "workload/serialize.hpp"
+
+namespace difane {
+namespace {
+
+TEST(Serialize, PolicyRoundTripPreservesEverything) {
+  const auto policy = classbench_like(400, 91);
+  std::stringstream ss;
+  save_policy(ss, policy);
+  const auto loaded = load_policy(ss);
+  ASSERT_EQ(loaded.size(), policy.size());
+  for (std::size_t i = 0; i < policy.size(); ++i) {
+    EXPECT_EQ(loaded.at(i).id, policy.at(i).id);
+    EXPECT_EQ(loaded.at(i).priority, policy.at(i).priority);
+    EXPECT_TRUE(loaded.at(i).action == policy.at(i).action);
+    EXPECT_TRUE(loaded.at(i).match == policy.at(i).match) << "rule " << i;
+    EXPECT_NEAR(loaded.at(i).weight, policy.at(i).weight, 1e-9);
+  }
+  Rng rng(92);
+  EXPECT_FALSE(find_semantic_difference(policy, loaded, rng, 1000).has_value());
+}
+
+TEST(Serialize, PolicyRoundTripWithAllActionKinds) {
+  RuleTable t;
+  Rule a;
+  a.id = 1;
+  a.priority = 4;
+  a.action = Action::drop();
+  match_exact(a.match, Field::kIpProto, 6);
+  Rule b;
+  b.id = 2;
+  b.priority = 3;
+  b.action = Action::forward(7);
+  Rule c;
+  c.id = 3;
+  c.priority = 2;
+  c.action = Action::encap(12);
+  Rule d;
+  d.id = 4;
+  d.priority = 1;
+  d.action = Action::to_controller();
+  t.add(a);
+  t.add(b);
+  t.add(c);
+  t.add(d);
+  std::stringstream ss;
+  save_policy(ss, t);
+  const auto loaded = load_policy(ss);
+  ASSERT_EQ(loaded.size(), 4u);
+  EXPECT_TRUE(loaded.find(1)->action == Action::drop());
+  EXPECT_TRUE(loaded.find(2)->action == Action::forward(7));
+  EXPECT_TRUE(loaded.find(3)->action == Action::encap(12));
+  EXPECT_TRUE(loaded.find(4)->action == Action::to_controller());
+}
+
+TEST(Serialize, PolicyCommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "policy v1\n"
+      "# a comment\n"
+      "\n"
+      "rule 5 10 fwd:2 0.5 ip_proto=00000110\n");
+  const auto loaded = load_policy(ss);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.at(0).id, 5u);
+  EXPECT_TRUE(loaded.at(0).match.matches(PacketBuilder().ip_proto(6).build()));
+  EXPECT_FALSE(loaded.at(0).match.matches(PacketBuilder().ip_proto(17).build()));
+}
+
+TEST(Serialize, PolicyRejectsMalformedInput) {
+  auto expect_throw = [](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(load_policy(ss), std::runtime_error) << text;
+  };
+  expect_throw("");                                       // no header
+  expect_throw("policy v2\n");                            // wrong version
+  expect_throw("policy v1\nnotarule 1 2 drop 0\n");       // bad tag
+  expect_throw("policy v1\nrule 1 2 explode 0\n");        // bad action
+  expect_throw("policy v1\nrule 1 2 drop 0 bogus=01\n");  // bad field
+  expect_throw("policy v1\nrule 1 2 drop 0 ip_proto=01\n");   // wrong width
+  expect_throw("policy v1\nrule 1 2 drop 0 ip_proto=0000002q\n");  // bad char
+}
+
+TEST(Serialize, TraceRoundTrip) {
+  const auto policy = classbench_like(100, 93);
+  TrafficParams tp;
+  tp.seed = 94;
+  tp.duration = 0.5;
+  tp.arrival_rate = 500.0;
+  TrafficGenerator gen(policy, tp);
+  const auto flows = gen.generate();
+  ASSERT_FALSE(flows.empty());
+  std::stringstream ss;
+  save_trace(ss, flows);
+  const auto loaded = load_trace(ss);
+  ASSERT_EQ(loaded.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, flows[i].id);
+    EXPECT_NEAR(loaded[i].start, flows[i].start, 1e-9);
+    EXPECT_EQ(loaded[i].packets, flows[i].packets);
+    EXPECT_EQ(loaded[i].ingress_index, flows[i].ingress_index);
+    EXPECT_TRUE(loaded[i].header == flows[i].header) << "flow " << i;
+  }
+}
+
+TEST(Serialize, TraceRejectsMalformedInput) {
+  auto expect_throw = [](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(load_trace(ss), std::runtime_error) << text;
+  };
+  expect_throw("");
+  expect_throw("trace v2\n");
+  expect_throw("trace v1\nflow 1 0.5\n");               // truncated
+  expect_throw("trace v1\nflow 1 0.5 3 0.001 0 abc\n"); // short hex
+}
+
+TEST(Serialize, FileRoundTripAndMissingFile) {
+  const auto policy = campus_like(50, 95);
+  const std::string path = "/tmp/difane_test_policy.txt";
+  save_policy_file(path, policy);
+  const auto loaded = load_policy_file(path);
+  EXPECT_EQ(loaded.size(), policy.size());
+  EXPECT_THROW(load_policy_file("/nonexistent/dir/policy.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace difane

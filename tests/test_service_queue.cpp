@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "netsim/service_queue.hpp"
+
+namespace difane {
+namespace {
+
+TEST(ServiceQueue, IdleServerCompletesAfterServiceTime) {
+  ServiceQueue q(0.01, 1.0);
+  const auto done = q.admit(5.0);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_DOUBLE_EQ(*done, 5.01);
+  EXPECT_EQ(q.admitted(), 1u);
+}
+
+TEST(ServiceQueue, BackToBackArrivalsQueueFifo) {
+  ServiceQueue q(0.01, 1.0);
+  const auto a = q.admit(0.0);
+  const auto b = q.admit(0.0);
+  const auto c = q.admit(0.0);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_DOUBLE_EQ(*a, 0.01);
+  EXPECT_DOUBLE_EQ(*b, 0.02);
+  EXPECT_DOUBLE_EQ(*c, 0.03);
+  EXPECT_DOUBLE_EQ(q.backlog(0.0), 0.03);
+}
+
+TEST(ServiceQueue, RejectsBeyondBacklogBound) {
+  ServiceQueue q(0.01, 0.025);
+  ASSERT_TRUE(q.admit(0.0));  // backlog 0
+  ASSERT_TRUE(q.admit(0.0));  // backlog 0.01
+  ASSERT_TRUE(q.admit(0.0));  // backlog 0.02
+  EXPECT_FALSE(q.admit(0.0)); // backlog 0.03 > 0.025
+  EXPECT_EQ(q.rejected(), 1u);
+  // Time passing drains the backlog and admits again.
+  EXPECT_TRUE(q.admit(0.02));
+}
+
+TEST(ServiceQueue, SaturationRateMatchesCapacity) {
+  // Offer 2x capacity for one second; admitted work must be ~capacity.
+  ServiceQueue q(1e-3, 5e-3);  // 1000/s capacity, tiny queue
+  std::size_t admitted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (q.admit(i * 0.0005)) ++admitted;  // arrivals at 2000/s
+  }
+  EXPECT_NEAR(static_cast<double>(admitted), 1000.0, 50.0);
+  EXPECT_DOUBLE_EQ(q.capacity_per_sec(), 1000.0);
+}
+
+TEST(ServiceQueue, UnderloadAdmitsEverything) {
+  ServiceQueue q(1e-3, 5e-3);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(q.admit(i * 0.01).has_value());  // 100/s into 1000/s server
+  }
+  EXPECT_EQ(q.rejected(), 0u);
+}
+
+TEST(ServiceQueue, BadParametersRejected) {
+  EXPECT_THROW(ServiceQueue(0.0, 1.0), contract_violation);
+  EXPECT_THROW(ServiceQueue(1.0, -1.0), contract_violation);
+}
+
+}  // namespace
+}  // namespace difane
