@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_cache_planner.dir/bench_a1_cache_planner.cpp.o"
+  "CMakeFiles/bench_a1_cache_planner.dir/bench_a1_cache_planner.cpp.o.d"
+  "bench_a1_cache_planner"
+  "bench_a1_cache_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_cache_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_classifier.dir/bench_e10_classifier.cpp.o"
+  "CMakeFiles/bench_e10_classifier.dir/bench_e10_classifier.cpp.o.d"
+  "bench_e10_classifier"
+  "bench_e10_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

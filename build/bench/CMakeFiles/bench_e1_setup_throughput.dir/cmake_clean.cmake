@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_setup_throughput.dir/bench_e1_setup_throughput.cpp.o"
+  "CMakeFiles/bench_e1_setup_throughput.dir/bench_e1_setup_throughput.cpp.o.d"
+  "bench_e1_setup_throughput"
+  "bench_e1_setup_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_setup_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_partition_tcam.dir/bench_e4_partition_tcam.cpp.o"
+  "CMakeFiles/bench_e4_partition_tcam.dir/bench_e4_partition_tcam.cpp.o.d"
+  "bench_e4_partition_tcam"
+  "bench_e4_partition_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_partition_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

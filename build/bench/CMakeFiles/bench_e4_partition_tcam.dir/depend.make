@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e4_partition_tcam.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_duplication.dir/bench_e5_duplication.cpp.o"
+  "CMakeFiles/bench_e5_duplication.dir/bench_e5_duplication.cpp.o.d"
+  "bench_e5_duplication"
+  "bench_e5_duplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_cache_hit.dir/bench_e6_cache_hit.cpp.o"
+  "CMakeFiles/bench_e6_cache_hit.dir/bench_e6_cache_hit.cpp.o.d"
+  "bench_e6_cache_hit"
+  "bench_e6_cache_hit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_cache_hit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

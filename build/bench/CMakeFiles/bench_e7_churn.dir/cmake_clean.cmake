@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_churn.dir/bench_e7_churn.cpp.o"
+  "CMakeFiles/bench_e7_churn.dir/bench_e7_churn.cpp.o.d"
+  "bench_e7_churn"
+  "bench_e7_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_stretch.dir/bench_e8_stretch.cpp.o"
+  "CMakeFiles/bench_e8_stretch.dir/bench_e8_stretch.cpp.o.d"
+  "bench_e8_stretch"
+  "bench_e8_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_failover.dir/bench_e9_failover.cpp.o"
+  "CMakeFiles/bench_e9_failover.dir/bench_e9_failover.cpp.o.d"
+  "bench_e9_failover"
+  "bench_e9_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_acl.dir/enterprise_acl.cpp.o"
+  "CMakeFiles/enterprise_acl.dir/enterprise_acl.cpp.o.d"
+  "enterprise_acl"
+  "enterprise_acl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nox_vs_difane.dir/nox_vs_difane.cpp.o"
+  "CMakeFiles/nox_vs_difane.dir/nox_vs_difane.cpp.o.d"
+  "nox_vs_difane"
+  "nox_vs_difane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nox_vs_difane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nox_vs_difane.
+# This may be replaced when dependencies are built.

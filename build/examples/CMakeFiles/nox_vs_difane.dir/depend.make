@@ -1,0 +1,2 @@
+# Empty dependencies file for nox_vs_difane.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_prewarm.dir/planner_prewarm.cpp.o"
+  "CMakeFiles/planner_prewarm.dir/planner_prewarm.cpp.o.d"
+  "planner_prewarm"
+  "planner_prewarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_prewarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difane_classifier.dir/classifier/dtree.cpp.o"
+  "CMakeFiles/difane_classifier.dir/classifier/dtree.cpp.o.d"
+  "CMakeFiles/difane_classifier.dir/classifier/linear.cpp.o"
+  "CMakeFiles/difane_classifier.dir/classifier/linear.cpp.o.d"
+  "libdifane_classifier.a"
+  "libdifane_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difane_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difane_controller.dir/controller/nox.cpp.o"
+  "CMakeFiles/difane_controller.dir/controller/nox.cpp.o.d"
+  "libdifane_controller.a"
+  "libdifane_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difane_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/authority.cpp" "src/CMakeFiles/difane_core.dir/core/authority.cpp.o" "gcc" "src/CMakeFiles/difane_core.dir/core/authority.cpp.o.d"
+  "/root/repo/src/core/cache.cpp" "src/CMakeFiles/difane_core.dir/core/cache.cpp.o" "gcc" "src/CMakeFiles/difane_core.dir/core/cache.cpp.o.d"
+  "/root/repo/src/core/cache_planner.cpp" "src/CMakeFiles/difane_core.dir/core/cache_planner.cpp.o" "gcc" "src/CMakeFiles/difane_core.dir/core/cache_planner.cpp.o.d"
+  "/root/repo/src/core/difane_controller.cpp" "src/CMakeFiles/difane_core.dir/core/difane_controller.cpp.o" "gcc" "src/CMakeFiles/difane_core.dir/core/difane_controller.cpp.o.d"
+  "/root/repo/src/core/symbolic_verifier.cpp" "src/CMakeFiles/difane_core.dir/core/symbolic_verifier.cpp.o" "gcc" "src/CMakeFiles/difane_core.dir/core/symbolic_verifier.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/difane_core.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/difane_core.dir/core/system.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "src/CMakeFiles/difane_core.dir/core/verifier.cpp.o" "gcc" "src/CMakeFiles/difane_core.dir/core/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/difane_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/difane_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/difane_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/difane_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/difane_ctrlchan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/difane_classifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/difane_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/difane_flowspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/difane_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difane_core.dir/core/authority.cpp.o"
+  "CMakeFiles/difane_core.dir/core/authority.cpp.o.d"
+  "CMakeFiles/difane_core.dir/core/cache.cpp.o"
+  "CMakeFiles/difane_core.dir/core/cache.cpp.o.d"
+  "CMakeFiles/difane_core.dir/core/cache_planner.cpp.o"
+  "CMakeFiles/difane_core.dir/core/cache_planner.cpp.o.d"
+  "CMakeFiles/difane_core.dir/core/difane_controller.cpp.o"
+  "CMakeFiles/difane_core.dir/core/difane_controller.cpp.o.d"
+  "CMakeFiles/difane_core.dir/core/symbolic_verifier.cpp.o"
+  "CMakeFiles/difane_core.dir/core/symbolic_verifier.cpp.o.d"
+  "CMakeFiles/difane_core.dir/core/system.cpp.o"
+  "CMakeFiles/difane_core.dir/core/system.cpp.o.d"
+  "CMakeFiles/difane_core.dir/core/verifier.cpp.o"
+  "CMakeFiles/difane_core.dir/core/verifier.cpp.o.d"
+  "libdifane_core.a"
+  "libdifane_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difane_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

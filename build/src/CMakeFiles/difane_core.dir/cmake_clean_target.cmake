@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdifane_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difane_ctrlchan.dir/ctrlchan/switch_agent.cpp.o"
+  "CMakeFiles/difane_ctrlchan.dir/ctrlchan/switch_agent.cpp.o.d"
+  "libdifane_ctrlchan.a"
+  "libdifane_ctrlchan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difane_ctrlchan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

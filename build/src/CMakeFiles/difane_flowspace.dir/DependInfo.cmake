@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowspace/algebra.cpp" "src/CMakeFiles/difane_flowspace.dir/flowspace/algebra.cpp.o" "gcc" "src/CMakeFiles/difane_flowspace.dir/flowspace/algebra.cpp.o.d"
+  "/root/repo/src/flowspace/dependency.cpp" "src/CMakeFiles/difane_flowspace.dir/flowspace/dependency.cpp.o" "gcc" "src/CMakeFiles/difane_flowspace.dir/flowspace/dependency.cpp.o.d"
+  "/root/repo/src/flowspace/header.cpp" "src/CMakeFiles/difane_flowspace.dir/flowspace/header.cpp.o" "gcc" "src/CMakeFiles/difane_flowspace.dir/flowspace/header.cpp.o.d"
+  "/root/repo/src/flowspace/minimize.cpp" "src/CMakeFiles/difane_flowspace.dir/flowspace/minimize.cpp.o" "gcc" "src/CMakeFiles/difane_flowspace.dir/flowspace/minimize.cpp.o.d"
+  "/root/repo/src/flowspace/rule.cpp" "src/CMakeFiles/difane_flowspace.dir/flowspace/rule.cpp.o" "gcc" "src/CMakeFiles/difane_flowspace.dir/flowspace/rule.cpp.o.d"
+  "/root/repo/src/flowspace/rule_table.cpp" "src/CMakeFiles/difane_flowspace.dir/flowspace/rule_table.cpp.o" "gcc" "src/CMakeFiles/difane_flowspace.dir/flowspace/rule_table.cpp.o.d"
+  "/root/repo/src/flowspace/ternary.cpp" "src/CMakeFiles/difane_flowspace.dir/flowspace/ternary.cpp.o" "gcc" "src/CMakeFiles/difane_flowspace.dir/flowspace/ternary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/difane_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

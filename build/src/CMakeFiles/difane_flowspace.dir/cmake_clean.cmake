@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difane_flowspace.dir/flowspace/algebra.cpp.o"
+  "CMakeFiles/difane_flowspace.dir/flowspace/algebra.cpp.o.d"
+  "CMakeFiles/difane_flowspace.dir/flowspace/dependency.cpp.o"
+  "CMakeFiles/difane_flowspace.dir/flowspace/dependency.cpp.o.d"
+  "CMakeFiles/difane_flowspace.dir/flowspace/header.cpp.o"
+  "CMakeFiles/difane_flowspace.dir/flowspace/header.cpp.o.d"
+  "CMakeFiles/difane_flowspace.dir/flowspace/minimize.cpp.o"
+  "CMakeFiles/difane_flowspace.dir/flowspace/minimize.cpp.o.d"
+  "CMakeFiles/difane_flowspace.dir/flowspace/rule.cpp.o"
+  "CMakeFiles/difane_flowspace.dir/flowspace/rule.cpp.o.d"
+  "CMakeFiles/difane_flowspace.dir/flowspace/rule_table.cpp.o"
+  "CMakeFiles/difane_flowspace.dir/flowspace/rule_table.cpp.o.d"
+  "CMakeFiles/difane_flowspace.dir/flowspace/ternary.cpp.o"
+  "CMakeFiles/difane_flowspace.dir/flowspace/ternary.cpp.o.d"
+  "libdifane_flowspace.a"
+  "libdifane_flowspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difane_flowspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

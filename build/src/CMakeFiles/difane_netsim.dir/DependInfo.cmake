@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/engine.cpp" "src/CMakeFiles/difane_netsim.dir/netsim/engine.cpp.o" "gcc" "src/CMakeFiles/difane_netsim.dir/netsim/engine.cpp.o.d"
+  "/root/repo/src/netsim/link.cpp" "src/CMakeFiles/difane_netsim.dir/netsim/link.cpp.o" "gcc" "src/CMakeFiles/difane_netsim.dir/netsim/link.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/CMakeFiles/difane_netsim.dir/netsim/topology.cpp.o" "gcc" "src/CMakeFiles/difane_netsim.dir/netsim/topology.cpp.o.d"
+  "/root/repo/src/netsim/tracer.cpp" "src/CMakeFiles/difane_netsim.dir/netsim/tracer.cpp.o" "gcc" "src/CMakeFiles/difane_netsim.dir/netsim/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/difane_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/difane_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/difane_flowspace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

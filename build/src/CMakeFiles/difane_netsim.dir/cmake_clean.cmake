@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difane_netsim.dir/netsim/engine.cpp.o"
+  "CMakeFiles/difane_netsim.dir/netsim/engine.cpp.o.d"
+  "CMakeFiles/difane_netsim.dir/netsim/link.cpp.o"
+  "CMakeFiles/difane_netsim.dir/netsim/link.cpp.o.d"
+  "CMakeFiles/difane_netsim.dir/netsim/topology.cpp.o"
+  "CMakeFiles/difane_netsim.dir/netsim/topology.cpp.o.d"
+  "CMakeFiles/difane_netsim.dir/netsim/tracer.cpp.o"
+  "CMakeFiles/difane_netsim.dir/netsim/tracer.cpp.o.d"
+  "libdifane_netsim.a"
+  "libdifane_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difane_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

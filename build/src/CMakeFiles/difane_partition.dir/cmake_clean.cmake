@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difane_partition.dir/partition/incremental.cpp.o"
+  "CMakeFiles/difane_partition.dir/partition/incremental.cpp.o.d"
+  "CMakeFiles/difane_partition.dir/partition/partitioner.cpp.o"
+  "CMakeFiles/difane_partition.dir/partition/partitioner.cpp.o.d"
+  "CMakeFiles/difane_partition.dir/partition/plan.cpp.o"
+  "CMakeFiles/difane_partition.dir/partition/plan.cpp.o.d"
+  "libdifane_partition.a"
+  "libdifane_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difane_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difane_switchsim.dir/switchsim/flow_table.cpp.o"
+  "CMakeFiles/difane_switchsim.dir/switchsim/flow_table.cpp.o.d"
+  "CMakeFiles/difane_switchsim.dir/switchsim/sw.cpp.o"
+  "CMakeFiles/difane_switchsim.dir/switchsim/sw.cpp.o.d"
+  "libdifane_switchsim.a"
+  "libdifane_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difane_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difane_util.dir/util/log.cpp.o"
+  "CMakeFiles/difane_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/difane_util.dir/util/stats.cpp.o"
+  "CMakeFiles/difane_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/difane_util.dir/util/table.cpp.o"
+  "CMakeFiles/difane_util.dir/util/table.cpp.o.d"
+  "libdifane_util.a"
+  "libdifane_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difane_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

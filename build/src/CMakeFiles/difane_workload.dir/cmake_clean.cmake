@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difane_workload.dir/workload/rulegen.cpp.o"
+  "CMakeFiles/difane_workload.dir/workload/rulegen.cpp.o.d"
+  "CMakeFiles/difane_workload.dir/workload/serialize.cpp.o"
+  "CMakeFiles/difane_workload.dir/workload/serialize.cpp.o.d"
+  "CMakeFiles/difane_workload.dir/workload/trafficgen.cpp.o"
+  "CMakeFiles/difane_workload.dir/workload/trafficgen.cpp.o.d"
+  "libdifane_workload.a"
+  "libdifane_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difane_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_planner.dir/test_cache_planner.cpp.o"
+  "CMakeFiles/test_cache_planner.dir/test_cache_planner.cpp.o.d"
+  "test_cache_planner"
+  "test_cache_planner.pdb"
+  "test_cache_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

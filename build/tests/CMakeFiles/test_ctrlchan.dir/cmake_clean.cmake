@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctrlchan.dir/test_ctrlchan.cpp.o"
+  "CMakeFiles/test_ctrlchan.dir/test_ctrlchan.cpp.o.d"
+  "test_ctrlchan"
+  "test_ctrlchan.pdb"
+  "test_ctrlchan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctrlchan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nox.dir/test_nox.cpp.o"
+  "CMakeFiles/test_nox.dir/test_nox.cpp.o.d"
+  "test_nox"
+  "test_nox.pdb"
+  "test_nox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rule_table.dir/test_rule_table.cpp.o"
+  "CMakeFiles/test_rule_table.dir/test_rule_table.cpp.o.d"
+  "test_rule_table"
+  "test_rule_table.pdb"
+  "test_rule_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rule_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_queue.dir/test_service_queue.cpp.o"
+  "CMakeFiles/test_service_queue.dir/test_service_queue.cpp.o.d"
+  "test_service_queue"
+  "test_service_queue.pdb"
+  "test_service_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

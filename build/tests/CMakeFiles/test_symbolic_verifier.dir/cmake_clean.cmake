@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic_verifier.dir/test_symbolic_verifier.cpp.o"
+  "CMakeFiles/test_symbolic_verifier.dir/test_symbolic_verifier.cpp.o.d"
+  "test_symbolic_verifier"
+  "test_symbolic_verifier.pdb"
+  "test_symbolic_verifier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

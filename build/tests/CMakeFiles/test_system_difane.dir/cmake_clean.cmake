@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_difane.dir/test_system_difane.cpp.o"
+  "CMakeFiles/test_system_difane.dir/test_system_difane.cpp.o.d"
+  "test_system_difane"
+  "test_system_difane.pdb"
+  "test_system_difane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_difane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transparency.dir/test_transparency.cpp.o"
+  "CMakeFiles/test_transparency.dir/test_transparency.cpp.o.d"
+  "test_transparency"
+  "test_transparency.pdb"
+  "test_transparency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transparency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_bitvec[1]_include.cmake")
+include("/root/repo/build/tests/test_ternary[1]_include.cmake")
+include("/root/repo/build/tests/test_header[1]_include.cmake")
+include("/root/repo/build/tests/test_rule_table[1]_include.cmake")
+include("/root/repo/build/tests/test_algebra[1]_include.cmake")
+include("/root/repo/build/tests/test_dependency[1]_include.cmake")
+include("/root/repo/build/tests/test_classifier[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_incremental[1]_include.cmake")
+include("/root/repo/build/tests/test_flow_table[1]_include.cmake")
+include("/root/repo/build/tests/test_netsim[1]_include.cmake")
+include("/root/repo/build/tests/test_service_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_nox[1]_include.cmake")
+include("/root/repo/build/tests/test_system_difane[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_ctrlchan[1]_include.cmake")
+include("/root/repo/build/tests/test_transparency[1]_include.cmake")
+include("/root/repo/build/tests/test_minimize[1]_include.cmake")
+include("/root/repo/build/tests/test_verifier[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_planner[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_replication[1]_include.cmake")
+include("/root/repo/build/tests/test_topology_line[1]_include.cmake")
+include("/root/repo/build/tests/test_symbolic_verifier[1]_include.cmake")

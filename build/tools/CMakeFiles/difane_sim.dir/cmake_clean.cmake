@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difane_sim.dir/difane_sim.cpp.o"
+  "CMakeFiles/difane_sim.dir/difane_sim.cpp.o.d"
+  "difane_sim"
+  "difane_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difane_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
