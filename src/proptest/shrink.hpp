@@ -1,0 +1,45 @@
+// Greedy counterexample shrinking. A failing property hands the shrinker its
+// (rule table, packet trace) input plus a predicate that re-runs the check;
+// the shrinker then minimizes by delta-debugging: drop chunks of rules, drop
+// chunks of packets, then simplify surviving rules bit-by-bit, repeating
+// until a fixed point (or an attempt budget). The result is the smallest
+// input the greedy search can find that still fails — usually 2-4 rules and
+// one packet, small enough to read off the bug by eye.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flowspace/rule_table.hpp"
+
+namespace difane::proptest {
+
+// The universal counterexample shape for this repo's properties: a policy
+// (as a rule list) plus the packet headers that expose the disagreement.
+// Properties that don't use packets just leave the vector empty.
+struct Counterexample {
+  std::vector<Rule> rules;
+  std::vector<BitVec> packets;
+
+  RuleTable table() const { return RuleTable(rules); }
+  std::string to_string() const;
+};
+
+// Re-runs the property on a candidate input. Returns true if the candidate
+// STILL fails (i.e. is still a counterexample). Must be deterministic.
+using StillFails = std::function<bool(const Counterexample&)>;
+
+struct ShrinkStats {
+  std::size_t attempts = 0;   // predicate evaluations
+  std::size_t accepted = 0;   // attempts that kept the failure
+};
+
+// Greedily minimize `cex` under `still_fails`. `max_attempts` bounds total
+// predicate evaluations so shrinking an expensive end-to-end property stays
+// tractable. The input must itself fail; the result always fails.
+Counterexample shrink(Counterexample cex, const StillFails& still_fails,
+                      std::size_t max_attempts = 20000, ShrinkStats* stats = nullptr);
+
+}  // namespace difane::proptest

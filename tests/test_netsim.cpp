@@ -70,6 +70,63 @@ TEST(Engine, MaxEventsBoundsRunawayLoops) {
   EXPECT_TRUE(e.empty());
 }
 
+TEST(Engine, ZeroDelaySelfReschedulingMakesProgress) {
+  // Events that reschedule themselves with zero delay must not starve other
+  // events at the same timestamp (FIFO tie-break) and must keep now() fixed.
+  Engine e;
+  int self_fires = 0;
+  int other_fires = 0;
+  std::function<void()> self = [&] {
+    if (++self_fires < 10) e.after(0.0, self);
+  };
+  e.at(1.0, self);
+  e.at(1.0, [&] { ++other_fires; });
+  e.run();
+  EXPECT_EQ(self_fires, 10);
+  EXPECT_EQ(other_fires, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+TEST(Engine, FifoTieBreakIsStableAcrossInterleavedScheduling) {
+  // Two identical runs where same-timestamp events are scheduled from
+  // different call sites (including reentrantly) must execute identically.
+  const auto trace = [] {
+    Engine e;
+    std::vector<int> order;
+    e.at(1.0, [&] {
+      order.push_back(0);
+      e.at(1.0, [&] { order.push_back(3); });  // reentrant, same timestamp
+    });
+    e.at(1.0, [&] { order.push_back(1); });
+    e.at(1.0, [&] { order.push_back(2); });
+    e.run();
+    return order;
+  };
+  const auto first = trace();
+  EXPECT_EQ(first, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(trace(), first);
+}
+
+TEST(Engine, ClearMidRunDropsPendingButKeepsClock) {
+  Engine e;
+  int fired = 0;
+  e.at(1.0, [&] {
+    ++fired;
+    e.clear();  // cancels everything below, from inside a handler
+  });
+  e.at(2.0, [&] { ++fired; });
+  e.at(3.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+  // The engine stays usable: scheduling resumes from the current clock.
+  e.at(5.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
 TEST(Link, PropagationPlusSerialization) {
   Link link(1e-3, 1e9);  // 1ms, 1Gbps
   const double t1 = link.send(0.0, 1250);  // 10us serialization

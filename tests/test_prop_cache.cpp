@@ -1,0 +1,54 @@
+// Property: under LRU eviction, idle expiry, and adversarial forced
+// removals, an ingress switch's cache band never gives a wrong terminal
+// answer — every cache hit is the single-table policy winner, and every
+// redirect resolves at the authority switch to that same winner. This is
+// the paper's wildcard-caching safety claim (dependent-set / cover-set
+// splicing) exercised exactly where prior caching work reports bugs:
+// overlap chains plus churn.
+#include <gtest/gtest.h>
+
+#include "proptest/oracle.hpp"
+#include "proptest/property.hpp"
+
+namespace difane {
+namespace {
+
+using proptest::Counterexample;
+using proptest::Violation;
+
+DIFANE_PROPERTY(CacheMatchesAuthorityUnderChurn, 250) {
+  proptest::TableGenParams tg;
+  tg.add_default = ctx.rng.bernoulli(0.8);
+  Counterexample cex;
+  cex.rules = proptest::gen_table(ctx.rng, tg).rules();
+  // Long trace with repeated headers: hits after installs, hits after
+  // expiry, hits after cascade evictions.
+  cex.packets = proptest::gen_packets(ctx.rng, cex.table(), 80);
+  for (std::size_t i = 0; i < 40 && !cex.packets.empty(); ++i) {
+    cex.packets.push_back(cex.packets[ctx.rng.uniform(0, cex.packets.size() - 1)]);
+  }
+
+  proptest::CacheChurnParams cc;
+  static constexpr CacheStrategy kStrategies[] = {
+      CacheStrategy::kMicroflow, CacheStrategy::kDependentSet,
+      CacheStrategy::kCoverSet};
+  cc.strategy = kStrategies[ctx.rng.uniform(0, 2)];
+  cc.cache_capacity = ctx.rng.uniform(3, 24);  // small: constant eviction
+  cc.max_splice_cost = ctx.rng.bernoulli(0.3) ? 4 : 32;
+  cc.partitioner.capacity = ctx.rng.uniform(4, 16);
+  cc.authority_count = static_cast<std::uint32_t>(ctx.rng.uniform(1, 3));
+  cc.churn_seed = ctx.case_seed ^ 0xc4a2;
+
+  const auto oracle = [&](const Counterexample& c) {
+    return proptest::check_cache_vs_authority(c, cc);
+  };
+  if (const Violation v = oracle(cex)) {
+    FAIL() << "seed 0x" << std::hex << ctx.case_seed << std::dec << " strategy "
+           << cache_strategy_name(cc.strategy) << " cache cap "
+           << cc.cache_capacity << " splice cap " << cc.max_splice_cost << "\n"
+           << proptest::shrink_report(oracle, cex, 6000);
+  }
+}
+
+}  // namespace
+}  // namespace difane

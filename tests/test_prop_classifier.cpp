@@ -1,0 +1,120 @@
+// Property: the decision-tree classifier and the linear TCAM reference are
+// observationally identical. Plus the harness's own credentials: a
+// deliberately buggy classifier (wrong tie-break) must be caught by the same
+// oracle shape and shrunk to a tiny counterexample — the mutation smoke
+// check that proves the harness can actually find and minimize bugs.
+#include <gtest/gtest.h>
+
+#include "classifier/linear.hpp"
+#include "proptest/oracle.hpp"
+#include "proptest/property.hpp"
+
+namespace difane {
+namespace {
+
+using proptest::Counterexample;
+using proptest::TableGenParams;
+using proptest::Violation;
+
+DIFANE_PROPERTY(LinearVsDtreeAgreement, 250) {
+  TableGenParams tg;
+  tg.add_default = ctx.rng.bernoulli(0.7);  // also exercise no-match paths
+  Counterexample cex;
+  cex.rules = proptest::gen_table(ctx.rng, tg).rules();
+  cex.packets = proptest::gen_packets(ctx.rng, cex.table(), 40);
+
+  DTreeParams dt;
+  dt.leaf_size = ctx.rng.uniform(1, 16);
+  dt.dup_penalty = ctx.rng.bernoulli(0.5) ? 1.0 : 0.1;
+  const auto oracle = [&dt](const Counterexample& c) {
+    return proptest::check_classifier_agreement(c, dt);
+  };
+  if (const Violation v = oracle(cex)) {
+    FAIL() << "seed 0x" << std::hex << ctx.case_seed << std::dec << "\n"
+           << proptest::shrink_report(oracle, cex);
+  }
+}
+
+// ---- mutation smoke check -------------------------------------------------
+
+// A plausible-looking classifier with an injected dependency bug: among
+// rules of equal priority it returns the LAST match (highest id) instead of
+// the first — exactly the tie-break the real implementations must honor.
+const Rule* buggy_classify(const RuleTable& table, const BitVec& packet) {
+  const Rule* best = nullptr;
+  for (const auto& rule : table.rules()) {
+    if (!rule.match.matches(packet)) continue;
+    if (best == nullptr || rule.priority > best->priority ||
+        (rule.priority == best->priority && rule.id > best->id)) {
+      best = &rule;
+    }
+  }
+  return best;
+}
+
+Violation check_buggy(const Counterexample& cex) {
+  const RuleTable table = cex.table();
+  for (std::size_t i = 0; i < cex.packets.size(); ++i) {
+    const Rule* want = table.match(cex.packets[i]);
+    const Rule* got = buggy_classify(table, cex.packets[i]);
+    const bool same = (want == nullptr && got == nullptr) ||
+                      (want != nullptr && got != nullptr && want->id == got->id);
+    if (!same) {
+      return "packet[" + std::to_string(i) + "]: reference id " +
+             (want ? std::to_string(want->id) : "<none>") + " vs buggy id " +
+             (got ? std::to_string(got->id) : "<none>");
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(PropertyHarness, InjectedTieBreakBugIsCaughtAndShrunk) {
+  // Sweep seeds until the generators expose the bug (they are tuned to make
+  // priority ties likely, so this triggers within a few seeds), then shrink.
+  std::uint64_t state = 0xb00b5;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    Rng rng(splitmix64(state));
+    proptest::TableGenParams tg;
+    tg.p_priority_tie = 0.6;  // the injected bug lives in the tie-break
+    Counterexample cex;
+    cex.rules = proptest::gen_table(rng, tg).rules();
+    cex.packets = proptest::gen_packets(rng, cex.table(), 60);
+    if (!check_buggy(cex).has_value()) continue;
+
+    proptest::ShrinkStats stats;
+    const Counterexample minimized = proptest::shrink(
+        cex, [](const Counterexample& c) { return check_buggy(c).has_value(); },
+        20000, &stats);
+    EXPECT_TRUE(check_buggy(minimized).has_value());
+    EXPECT_LE(minimized.rules.size(), 5u)
+        << "shrinker left a bloated counterexample:\n" << minimized.to_string();
+    EXPECT_LE(minimized.packets.size(), 2u);
+    EXPECT_GT(stats.accepted, 0u);
+    // The minimal exhibit of a tie-break bug needs two rules at one priority.
+    EXPECT_GE(minimized.rules.size(), 2u);
+    return;
+  }
+  FAIL() << "generators never exposed the injected tie-break bug";
+}
+
+// The shrinker must be a no-op on an already-minimal counterexample and must
+// never return a passing input.
+TEST(PropertyHarness, ShrinkPreservesFailure) {
+  Rule a;
+  a.id = 0;
+  a.priority = 1;
+  a.action = Action::drop();
+  Counterexample cex;
+  cex.rules = {a};
+  cex.packets = {BitVec{}};
+  const auto fails = [](const Counterexample& c) {
+    return !c.rules.empty() && !c.packets.empty();
+  };
+  const Counterexample out = proptest::shrink(cex, fails, 1000);
+  EXPECT_TRUE(fails(out));
+  EXPECT_EQ(out.rules.size(), 1u);
+  EXPECT_EQ(out.packets.size(), 1u);
+}
+
+}  // namespace
+}  // namespace difane

@@ -55,6 +55,47 @@ TEST(ServiceQueue, UnderloadAdmitsEverything) {
   EXPECT_EQ(q.rejected(), 0u);
 }
 
+TEST(ServiceQueue, BacklogExactlyAtBoundIsAdmitted) {
+  // The bound is on waiting time, and admission uses a strict comparison:
+  // backlog == max_backlog still gets in.
+  ServiceQueue q(0.01, 0.02);
+  ASSERT_TRUE(q.admit(0.0));   // backlog 0
+  ASSERT_TRUE(q.admit(0.0));   // backlog 0.01
+  EXPECT_TRUE(q.admit(0.0));   // backlog 0.02 == bound
+  EXPECT_FALSE(q.admit(0.0));  // backlog 0.03 > bound
+}
+
+TEST(ServiceQueue, ZeroBacklogBoundStillServesIdleServer) {
+  // max_backlog = 0 means "no waiting room": work is only admitted when the
+  // server is free at the arrival instant.
+  ServiceQueue q(0.01, 0.0);
+  const auto a = q.admit(0.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(q.admit(0.005).has_value());  // server busy until 0.01
+  EXPECT_TRUE(q.admit(0.01).has_value());    // free exactly at completion
+}
+
+TEST(ServiceQueue, RejectionDoesNotAdvanceTheCursor) {
+  ServiceQueue q(0.01, 0.005);
+  ASSERT_TRUE(q.admit(0.0));
+  const double backlog_before = q.backlog(0.0);
+  EXPECT_FALSE(q.admit(0.0));
+  // A rejected arrival consumes no capacity.
+  EXPECT_DOUBLE_EQ(q.backlog(0.0), backlog_before);
+  EXPECT_EQ(q.admitted(), 1u);
+  EXPECT_EQ(q.rejected(), 1u);
+}
+
+TEST(ServiceQueue, BacklogDrainsLinearlyWithTime) {
+  ServiceQueue q(0.01, 1.0);
+  ASSERT_TRUE(q.admit(0.0));
+  ASSERT_TRUE(q.admit(0.0));  // next_free = 0.02
+  EXPECT_DOUBLE_EQ(q.backlog(0.0), 0.02);
+  EXPECT_DOUBLE_EQ(q.backlog(0.015), 0.005);
+  EXPECT_DOUBLE_EQ(q.backlog(0.02), 0.0);
+  EXPECT_DOUBLE_EQ(q.backlog(100.0), 0.0);  // never negative
+}
+
 TEST(ServiceQueue, BadParametersRejected) {
   EXPECT_THROW(ServiceQueue(0.0, 1.0), contract_violation);
   EXPECT_THROW(ServiceQueue(1.0, -1.0), contract_violation);

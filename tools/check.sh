@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification sweep: the tier-1 build+test pass, then the same suite
+# plus a short differential fuzz soak under ASan+UBSan (DIFANE_SANITIZE=ON).
+#
+#   tools/check.sh [FUZZ_SECONDS]
+#
+# FUZZ_SECONDS (default 30) bounds the sanitized fuzz_difane run. Both build
+# trees are kept (build/ and build-san/) so incremental re-runs are cheap.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fuzz_seconds="${1:-30}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: normal build + ctest =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== sanitized: ASan+UBSan build + ctest + ${fuzz_seconds}s fuzz =="
+cmake -B build-san -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDIFANE_SANITIZE=ON
+cmake --build build-san -j "$jobs"
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-san --output-on-failure -j "$jobs"
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-san/tools/fuzz_difane --seconds "$fuzz_seconds"
+
+echo "== all checks passed =="
