@@ -11,60 +11,78 @@
 using namespace difane;
 using namespace difane::bench;
 
-int main() {
-  print_header("A1: expected hit rate vs cache budget (offline planner)",
-               "cache-splicing ablation (extension; cf. wildcard caching design)",
-               "cover-set >= dependent-set at tight budgets on chain-heavy "
-               "policies; equal on disjoint policies");
-
-  // Zipf popularity across rules (not flow-space-proportional weights): the
-  // planner question is "which popular rules are worth their splice cost",
-  // which degenerates if one giant default rule owns all the weight.
-  auto zipf_policy = [](bool campus, std::uint64_t seed) {
-    RuleGenParams params;
-    params.num_rules = 2000;
-    params.seed = seed;
-    params.weight_mode = WeightMode::kZipfByIndex;
-    params.zipf_s = 1.0;
-    if (campus) {
-      params.chain_count = 0;
-      params.p_src_prefix = 1.0;
-      params.p_dst_prefix = 1.0;
-      params.p_long_prefix = 1.0;
-      params.p_dst_port = 0.1;
-    } else {
-      params.chain_count = 40;
-      params.chain_depth = 6;
-      params.p_dst_port = 0.45;
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, "A1", /*default_seed=*/71);
+  return run_bench(args, [&](BenchRep& rep) {
+    if (rep.verbose) {
+      print_header("A1: expected hit rate vs cache budget (offline planner)",
+                   "cache-splicing ablation (extension; cf. wildcard caching design)",
+                   "cover-set >= dependent-set at tight budgets on chain-heavy "
+                   "policies; equal on disjoint policies");
     }
-    return generate_policy(params);
-  };
-  struct Spec {
-    const char* name;
-    RuleTable policy;
-  };
-  std::vector<Spec> specs;
-  specs.push_back({"classbench (deep chains)", zipf_policy(false, 71)});
-  specs.push_back({"campus (disjoint pairs)", zipf_policy(true, 71)});
 
-  for (const auto& spec : specs) {
-    const auto graph = build_dependency_graph(spec.policy);
-    std::printf("policy: %s, %zu rules, max chain depth %zu\n", spec.name,
-                spec.policy.size(), graph.max_chain_depth());
-    TextTable table({"budget", "dependent-set hit%", "cover-set hit%",
-                     "dep rules chosen", "cover rules chosen"});
-    for (const std::size_t budget : {20u, 50u, 100u, 200u, 400u, 800u}) {
-      const auto dep =
-          plan_cache(spec.policy, graph, CacheStrategy::kDependentSet, budget);
-      const auto cover =
-          plan_cache(spec.policy, graph, CacheStrategy::kCoverSet, budget);
-      table.add_row({TextTable::integer(static_cast<long long>(budget)),
-                     TextTable::num(dep.expected_hit_rate() * 100.0, 1),
-                     TextTable::num(cover.expected_hit_rate() * 100.0, 1),
-                     TextTable::integer(static_cast<long long>(dep.chosen.size())),
-                     TextTable::integer(static_cast<long long>(cover.chosen.size()))});
+    // Zipf popularity across rules (not flow-space-proportional weights): the
+    // planner question is "which popular rules are worth their splice cost",
+    // which degenerates if one giant default rule owns all the weight.
+    const std::size_t policy_size = args.pick<std::size_t>(2000, 800);
+    rep.report.params["policy_rules"] = obs::Json(policy_size);
+    auto zipf_policy = [&](bool campus, std::uint64_t seed) {
+      RuleGenParams params;
+      params.num_rules = policy_size;
+      params.seed = seed;
+      params.weight_mode = WeightMode::kZipfByIndex;
+      params.zipf_s = 1.0;
+      if (campus) {
+        params.chain_count = 0;
+        params.p_src_prefix = 1.0;
+        params.p_dst_prefix = 1.0;
+        params.p_long_prefix = 1.0;
+        params.p_dst_port = 0.1;
+      } else {
+        params.chain_count = 40;
+        params.chain_depth = 6;
+        params.p_dst_port = 0.45;
+      }
+      return generate_policy(params);
+    };
+    struct Spec {
+      const char* name;
+      const char* slug;
+      RuleTable policy;
+    };
+    std::vector<Spec> specs;
+    specs.push_back({"classbench (deep chains)", "classbench", zipf_policy(false, rep.seed)});
+    specs.push_back({"campus (disjoint pairs)", "campus", zipf_policy(true, rep.seed)});
+
+    const std::vector<std::size_t> budgets =
+        args.quick ? std::vector<std::size_t>{50u, 200u, 800u}
+                   : std::vector<std::size_t>{20u, 50u, 100u, 200u, 400u, 800u};
+    for (const auto& spec : specs) {
+      const auto graph = build_dependency_graph(spec.policy);
+      if (rep.verbose) {
+        std::printf("policy: %s, %zu rules, max chain depth %zu\n", spec.name,
+                    spec.policy.size(), graph.max_chain_depth());
+      }
+      rep.set(std::string("max_chain_depth_") + spec.slug,
+              static_cast<double>(graph.max_chain_depth()));
+      TextTable table({"budget", "dependent-set hit%", "cover-set hit%",
+                       "dep rules chosen", "cover rules chosen"});
+      for (const std::size_t budget : budgets) {
+        const auto dep =
+            plan_cache(spec.policy, graph, CacheStrategy::kDependentSet, budget);
+        const auto cover =
+            plan_cache(spec.policy, graph, CacheStrategy::kCoverSet, budget);
+        const std::string suffix =
+            tag("_budget", static_cast<double>(budget)) + "_" + spec.slug;
+        rep.set("dep_hit_pct" + suffix, dep.expected_hit_rate() * 100.0);
+        rep.set("cover_hit_pct" + suffix, cover.expected_hit_rate() * 100.0);
+        table.add_row({TextTable::integer(static_cast<long long>(budget)),
+                       TextTable::num(dep.expected_hit_rate() * 100.0, 1),
+                       TextTable::num(cover.expected_hit_rate() * 100.0, 1),
+                       TextTable::integer(static_cast<long long>(dep.chosen.size())),
+                       TextTable::integer(static_cast<long long>(cover.chosen.size()))});
+      }
+      if (rep.verbose) std::printf("%s\n", table.render().c_str());
     }
-    std::printf("%s\n", table.render().c_str());
-  }
-  return 0;
+  });
 }

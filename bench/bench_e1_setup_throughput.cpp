@@ -10,8 +10,9 @@ using namespace difane::bench;
 
 namespace {
 
-double run_mode(const RuleTable& policy, Mode mode, double rate, double duration) {
-  const auto flows = setup_storm(policy, rate, duration, /*seed=*/41);
+double run_mode(const RuleTable& policy, Mode mode, double rate, double duration,
+                std::uint64_t seed) {
+  const auto flows = setup_storm(policy, rate, duration, seed);
   ScenarioParams params = mode == Mode::kDifane
                               ? difane_params(1, CacheStrategy::kMicroflow)
                               : nox_params();
@@ -25,25 +26,45 @@ double run_mode(const RuleTable& policy, Mode mode, double rate, double duration
 
 }  // namespace
 
-int main() {
-  print_header(
-      "E1: flow-setup throughput vs offered rate",
-      "DIFANE vs NOX throughput figure (SIGCOMM'10 evaluation)",
-      "NOX flat-lines ~50K/s; DIFANE (k=1) tracks offered load to ~800K/s");
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, "E1", /*default_seed=*/41);
+  return run_bench(args, [&](BenchRep& rep) {
+    if (rep.verbose) {
+      print_header(
+          "E1: flow-setup throughput vs offered rate",
+          "DIFANE vs NOX throughput figure (SIGCOMM'10 evaluation)",
+          "NOX flat-lines ~50K/s; DIFANE (k=1) tracks offered load to ~800K/s");
+    }
 
-  const auto policy = classbench_like(1000, 7);
-  TextTable table({"offered (flows/s)", "DIFANE (flows/s)", "NOX (flows/s)",
-                   "DIFANE/NOX"});
-  const double rates[] = {1e4, 2e4, 5e4, 1e5, 2e5, 4e5, 8e5, 1.2e6, 1.6e6};
-  for (const double rate : rates) {
-    // Shorter windows at higher rates keep event counts comparable.
-    const double duration = std::min(0.5, 40000.0 / rate);
-    const double difane_rate = run_mode(policy, Mode::kDifane, rate, duration);
-    const double nox_rate = run_mode(policy, Mode::kNox, rate, duration);
-    table.add_row({TextTable::num(rate, 0), TextTable::num(difane_rate, 0),
-                   TextTable::num(nox_rate, 0),
-                   TextTable::num(nox_rate > 0 ? difane_rate / nox_rate : 0.0, 1)});
-  }
-  std::printf("%s\n", table.render().c_str());
-  return 0;
+    const std::size_t policy_size = args.pick<std::size_t>(1000, 300);
+    const auto policy = classbench_like(policy_size, 7);
+    rep.report.params["policy_rules"] = obs::Json(policy_size);
+
+    TextTable table({"offered (flows/s)", "DIFANE (flows/s)", "NOX (flows/s)",
+                     "DIFANE/NOX"});
+    const std::vector<double> rates =
+        args.quick ? std::vector<double>{1e4, 1e5, 8e5, 1.6e6}
+                   : std::vector<double>{1e4, 2e4, 5e4, 1e5, 2e5, 4e5,
+                                         8e5, 1.2e6, 1.6e6};
+    double difane_peak = 0.0, nox_peak = 0.0;
+    for (const double rate : rates) {
+      // Shorter windows at higher rates keep event counts comparable.
+      const double duration =
+          std::min(args.pick(0.5, 0.2), args.pick(40000.0, 10000.0) / rate);
+      const double difane_rate =
+          run_mode(policy, Mode::kDifane, rate, duration, rep.seed);
+      const double nox_rate = run_mode(policy, Mode::kNox, rate, duration, rep.seed);
+      difane_peak = std::max(difane_peak, difane_rate);
+      nox_peak = std::max(nox_peak, nox_rate);
+      rep.set(tag("difane_flows_per_s_at", rate), difane_rate);
+      rep.set(tag("nox_flows_per_s_at", rate), nox_rate);
+      table.add_row({TextTable::num(rate, 0), TextTable::num(difane_rate, 0),
+                     TextTable::num(nox_rate, 0),
+                     TextTable::num(nox_rate > 0 ? difane_rate / nox_rate : 0.0, 1)});
+    }
+    rep.set("difane_peak_flows_per_s", difane_peak);
+    rep.set("nox_peak_flows_per_s", nox_peak);
+    rep.set("peak_speedup", nox_peak > 0 ? difane_peak / nox_peak : 0.0);
+    if (rep.verbose) std::printf("%s\n", table.render().c_str());
+  });
 }

@@ -9,40 +9,53 @@
 using namespace difane;
 using namespace difane::bench;
 
-int main() {
-  print_header("E4: TCAM entries per authority switch vs #switches",
-               "DIFANE partitioning figure (rules per authority switch)",
-               "log-log slope ~-1 with small duplication overhead (<2x total)");
-
-  for (const std::size_t policy_size : {1000u, 10000u, 50000u}) {
-    const auto policy = classbench_like(policy_size, 23);
-    std::printf("policy: %zu rules (classbench-like)\n", policy.size());
-    TextTable table({"k", "partitions", "max rules/switch", "avg rules/switch",
-                     "total rules", "duplication", "ideal (n/k)"});
-    for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-      // Below ~100 rules per partition, wildcard-heavy ACLs duplicate faster
-      // than they divide; skip regimes no deployment would choose.
-      if (k > 1 && policy.size() / k < 100) break;
-      PartitionerParams params;
-      // Capacity tracks the per-switch budget the paper assumes: the policy
-      // divided over k switches with headroom.
-      params.capacity = std::max<std::size_t>(16, policy.size() / k);
-      const auto plan = Partitioner(params).build(policy, k);
-      const auto loads = plan.rules_per_authority();
-      std::size_t max_load = 0, total = 0;
-      for (const auto load : loads) {
-        max_load = std::max(max_load, load);
-        total += load;
-      }
-      table.add_row({TextTable::integer(k),
-                     TextTable::integer(static_cast<long long>(plan.partitions().size())),
-                     TextTable::integer(static_cast<long long>(max_load)),
-                     TextTable::num(static_cast<double>(total) / k, 1),
-                     TextTable::integer(static_cast<long long>(total)),
-                     TextTable::num(plan.duplication_factor(), 2),
-                     TextTable::num(static_cast<double>(policy.size()) / k, 1)});
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, "E4", /*default_seed=*/23);
+  return run_bench(args, [&](BenchRep& rep) {
+    if (rep.verbose) {
+      print_header("E4: TCAM entries per authority switch vs #switches",
+                   "DIFANE partitioning figure (rules per authority switch)",
+                   "log-log slope ~-1 with small duplication overhead (<2x total)");
     }
-    std::printf("%s\n", table.render().c_str());
-  }
-  return 0;
+
+    const std::vector<std::size_t> policy_sizes =
+        args.quick ? std::vector<std::size_t>{1000u}
+                   : std::vector<std::size_t>{1000u, 10000u, 50000u};
+    for (const std::size_t policy_size : policy_sizes) {
+      const auto policy = classbench_like(policy_size, rep.seed);
+      if (rep.verbose) {
+        std::printf("policy: %zu rules (classbench-like)\n", policy.size());
+      }
+      TextTable table({"k", "partitions", "max rules/switch", "avg rules/switch",
+                       "total rules", "duplication", "ideal (n/k)"});
+      for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        // Below ~100 rules per partition, wildcard-heavy ACLs duplicate faster
+        // than they divide; skip regimes no deployment would choose.
+        if (k > 1 && policy.size() / k < 100) break;
+        PartitionerParams params;
+        // Capacity tracks the per-switch budget the paper assumes: the policy
+        // divided over k switches with headroom.
+        params.capacity = std::max<std::size_t>(16, policy.size() / k);
+        const auto plan = Partitioner(params).build(policy, k);
+        const auto loads = plan.rules_per_authority();
+        std::size_t max_load = 0, total = 0;
+        for (const auto load : loads) {
+          max_load = std::max(max_load, load);
+          total += load;
+        }
+        const std::string suffix = tag("k", k) + tag("_n", static_cast<double>(policy_size));
+        rep.set("max_rules_per_switch_" + suffix, static_cast<double>(max_load));
+        rep.set("total_rules_" + suffix, static_cast<double>(total));
+        rep.set("duplication_" + suffix, plan.duplication_factor());
+        table.add_row({TextTable::integer(k),
+                       TextTable::integer(static_cast<long long>(plan.partitions().size())),
+                       TextTable::integer(static_cast<long long>(max_load)),
+                       TextTable::num(static_cast<double>(total) / k, 1),
+                       TextTable::integer(static_cast<long long>(total)),
+                       TextTable::num(plan.duplication_factor(), 2),
+                       TextTable::num(static_cast<double>(policy.size()) / k, 1)});
+      }
+      if (rep.verbose) std::printf("%s\n", table.render().c_str());
+    }
+  });
 }

@@ -21,64 +21,96 @@ const char* strategy_name(CutStrategy strategy) {
   return "?";
 }
 
+const char* strategy_slug(CutStrategy strategy) {
+  switch (strategy) {
+    case CutStrategy::kBestBit: return "best_bit";
+    case CutStrategy::kIpBitsOnly: return "ip_only";
+    case CutStrategy::kRandomBit: return "random_bit";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
-int main() {
-  print_header("E5: rule duplication vs cut strategy and policy structure",
-               "partitioning-algorithm design discussion (cost function ablation)",
-               "best-bit <= ip-only <= random duplication; overlap-heavy "
-               "policies duplicate more");
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, "E5", /*default_seed=*/29);
+  return run_bench(args, [&](BenchRep& rep) {
+    if (rep.verbose) {
+      print_header("E5: rule duplication vs cut strategy and policy structure",
+                   "partitioning-algorithm design discussion (cost function ablation)",
+                   "best-bit <= ip-only <= random duplication; overlap-heavy "
+                   "policies duplicate more");
+    }
 
-  struct PolicySpec {
-    const char* name;
-    RuleTable policy;
-  };
-  std::vector<PolicySpec> policies;
-  policies.push_back({"classbench (deep chains)", classbench_like(4000, 29)});
-  policies.push_back({"campus (disjoint pairs)", campus_like(4000, 29)});
+    const std::size_t policy_size = args.pick<std::size_t>(4000, 1000);
+    rep.report.params["policy_rules"] = obs::Json(policy_size);
+    struct PolicySpec {
+      const char* name;
+      const char* slug;
+      RuleTable policy;
+    };
+    std::vector<PolicySpec> policies;
+    policies.push_back({"classbench (deep chains)", "classbench",
+                        classbench_like(policy_size, rep.seed)});
+    policies.push_back({"campus (disjoint pairs)", "campus",
+                        campus_like(policy_size, rep.seed)});
 
-  for (const auto& spec : policies) {
-    std::printf("policy: %s, %zu rules\n", spec.name, spec.policy.size());
-    TextTable table({"strategy", "capacity", "partitions", "total rules",
-                     "duplication", "max/avg balance"});
-    for (const auto strategy :
-         {CutStrategy::kBestBit, CutStrategy::kIpBitsOnly, CutStrategy::kRandomBit}) {
-      for (const std::size_t capacity : {1000u, 250u}) {
-        PartitionerParams params;
-        params.capacity = capacity;
-        params.strategy = strategy;
-        params.seed = 3;
-        const auto plan = Partitioner(params).build(spec.policy, 8);
-        const auto loads = plan.rules_per_authority();
-        std::size_t max_load = 0, total = 0;
-        for (const auto load : loads) {
-          max_load = std::max(max_load, load);
-          total += load;
+    for (const auto& spec : policies) {
+      if (rep.verbose) {
+        std::printf("policy: %s, %zu rules\n", spec.name, spec.policy.size());
+      }
+      TextTable table({"strategy", "capacity", "partitions", "total rules",
+                       "duplication", "max/avg balance"});
+      for (const auto strategy :
+           {CutStrategy::kBestBit, CutStrategy::kIpBitsOnly, CutStrategy::kRandomBit}) {
+        for (const std::size_t capacity : {1000u, 250u}) {
+          PartitionerParams params;
+          params.capacity = capacity;
+          params.strategy = strategy;
+          params.seed = 3;
+          const auto plan = Partitioner(params).build(spec.policy, 8);
+          const auto loads = plan.rules_per_authority();
+          std::size_t max_load = 0, total = 0;
+          for (const auto load : loads) {
+            max_load = std::max(max_load, load);
+            total += load;
+          }
+          const double avg = static_cast<double>(total) / static_cast<double>(loads.size());
+          const std::string suffix = std::string("_") + strategy_slug(strategy) +
+                                     tag("_cap", static_cast<double>(capacity)) +
+                                     "_" + spec.slug;
+          rep.set("duplication" + suffix, plan.duplication_factor());
+          rep.set("balance" + suffix,
+                  avg > 0 ? static_cast<double>(max_load) / avg : 0.0);
+          table.add_row(
+              {strategy_name(strategy), TextTable::integer(static_cast<long long>(capacity)),
+               TextTable::integer(static_cast<long long>(plan.partitions().size())),
+               TextTable::integer(static_cast<long long>(total)),
+               TextTable::num(plan.duplication_factor(), 2),
+               TextTable::num(avg > 0 ? static_cast<double>(max_load) / avg : 0.0, 2)});
         }
-        const double avg = static_cast<double>(total) / static_cast<double>(loads.size());
-        table.add_row(
-            {strategy_name(strategy), TextTable::integer(static_cast<long long>(capacity)),
-             TextTable::integer(static_cast<long long>(plan.partitions().size())),
-             TextTable::integer(static_cast<long long>(total)),
-             TextTable::num(plan.duplication_factor(), 2),
-             TextTable::num(avg > 0 ? static_cast<double>(max_load) / avg : 0.0, 2)});
+      }
+      if (rep.verbose) std::printf("%s\n", table.render().c_str());
+
+      // Compression baseline: TCAM-Razor-style minimization before
+      // partitioning. Compression shrinks the table (at the cost of per-rule
+      // counters — which is why DIFANE splices instead), and composes with
+      // partitioning.
+      MinimizeStats mstats;
+      const auto minimized = minimize(spec.policy, &mstats);
+      PartitionerParams params;
+      params.capacity = 250;
+      const auto plan = Partitioner(params).build(minimized, 8);
+      rep.set(std::string("minimized_rules_") + spec.slug,
+              static_cast<double>(mstats.after));
+      rep.set(std::string("minimized_duplication_") + spec.slug,
+              plan.duplication_factor());
+      if (rep.verbose) {
+        std::printf("minimization pre-pass: %zu -> %zu rules (%zu shadowed removed, "
+                    "%zu merges); partitioned total %zu (duplication %.2fx)\n\n",
+                    mstats.before, mstats.after, mstats.shadowed_removed, mstats.merges,
+                    plan.total_rules(), plan.duplication_factor());
       }
     }
-    std::printf("%s\n", table.render().c_str());
-
-    // Compression baseline: TCAM-Razor-style minimization before
-    // partitioning. Compression shrinks the table (at the cost of per-rule
-    // counters — which is why DIFANE splices instead), and composes with
-    // partitioning.
-    MinimizeStats mstats;
-    const auto minimized = minimize(spec.policy, &mstats);
-    PartitionerParams params;
-    params.capacity = 250;
-    const auto plan = Partitioner(params).build(minimized, 8);
-    std::printf("minimization pre-pass: %zu -> %zu rules (%zu shadowed removed, "
-                "%zu merges); partitioned total %zu (duplication %.2fx)\n\n",
-                mstats.before, mstats.after, mstats.shadowed_removed, mstats.merges,
-                plan.total_rules(), plan.duplication_factor());
-  }
-  return 0;
+  });
 }

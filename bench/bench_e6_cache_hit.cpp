@@ -8,38 +8,66 @@
 using namespace difane;
 using namespace difane::bench;
 
-int main() {
-  print_header("E6: ingress cache-hit rate vs cache size",
-               "wildcard-caching motivation (and the CacheFlow-style splice "
-               "comparison)",
-               "wildcard strategies reach high hit rates with small caches; "
-               "microflow needs far more entries");
+namespace {
 
-  // Many distinct microflows per policy rule (100K-flow pool over a 1K-rule
-  // policy): a cached wildcard rule aggregates every flow it covers, while a
-  // microflow entry serves only exact repeats. This flow-to-rule ratio is
-  // what makes wildcard caching the winning design in the paper.
-  const auto policy = classbench_like(1000, 31);
-  TextTable table({"cache entries", "microflow hit%", "dependent-set hit%",
-                   "cover-set hit%"});
-  for (const std::size_t cache : {25u, 50u, 100u, 200u, 400u, 800u, 1600u}) {
-    std::vector<std::string> row{TextTable::integer(static_cast<long long>(cache))};
-    for (const auto strategy : {CacheStrategy::kMicroflow, CacheStrategy::kDependentSet,
-                                CacheStrategy::kCoverSet}) {
-      auto params = difane_params(2, strategy, cache);
-      // An authority that knows the ingress budget can afford bigger splice
-      // groups on bigger caches.
-      params.max_splice_cost = std::max<std::size_t>(8, cache / 4);
-      Scenario scenario(policy, params);
-      const auto flows =
-          zipf_traffic(policy, /*rate=*/20000.0, /*duration=*/1.5,
-                       /*pool=*/100000, /*skew=*/0.9, /*seed=*/37,
-                       /*mean_packets=*/1.0);
-      const auto& stats = scenario.run(flows);
-      row.push_back(TextTable::num(stats.cache_hit_fraction() * 100.0, 1));
-    }
-    table.add_row(std::move(row));
+const char* strategy_slug(CacheStrategy strategy) {
+  switch (strategy) {
+    case CacheStrategy::kMicroflow: return "microflow";
+    case CacheStrategy::kDependentSet: return "dependent_set";
+    case CacheStrategy::kCoverSet: return "cover_set";
+    case CacheStrategy::kNone: return "none";
   }
-  std::printf("%s\n", table.render().c_str());
-  return 0;
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, "E6", /*default_seed=*/37);
+  return run_bench(args, [&](BenchRep& rep) {
+    if (rep.verbose) {
+      print_header("E6: ingress cache-hit rate vs cache size",
+                   "wildcard-caching motivation (and the CacheFlow-style splice "
+                   "comparison)",
+                   "wildcard strategies reach high hit rates with small caches; "
+                   "microflow needs far more entries");
+    }
+
+    // Many distinct microflows per policy rule (100K-flow pool over a 1K-rule
+    // policy): a cached wildcard rule aggregates every flow it covers, while a
+    // microflow entry serves only exact repeats. This flow-to-rule ratio is
+    // what makes wildcard caching the winning design in the paper.
+    const std::size_t policy_size = args.pick<std::size_t>(1000, 400);
+    const auto policy = classbench_like(policy_size, 31);
+    rep.report.params["policy_rules"] = obs::Json(policy_size);
+    const double duration = args.pick(1.5, 0.4);
+    const std::size_t pool = args.pick<std::size_t>(100000, 30000);
+
+    TextTable table({"cache entries", "microflow hit%", "dependent-set hit%",
+                     "cover-set hit%"});
+    const std::vector<std::size_t> caches =
+        args.quick ? std::vector<std::size_t>{50u, 200u, 800u}
+                   : std::vector<std::size_t>{25u, 50u, 100u, 200u, 400u, 800u, 1600u};
+    for (const std::size_t cache : caches) {
+      std::vector<std::string> row{TextTable::integer(static_cast<long long>(cache))};
+      for (const auto strategy : {CacheStrategy::kMicroflow, CacheStrategy::kDependentSet,
+                                  CacheStrategy::kCoverSet}) {
+        auto params = difane_params(2, strategy, cache);
+        // An authority that knows the ingress budget can afford bigger splice
+        // groups on bigger caches.
+        params.max_splice_cost = std::max<std::size_t>(8, cache / 4);
+        Scenario scenario(policy, params);
+        const auto flows =
+            zipf_traffic(policy, /*rate=*/20000.0, duration, pool, /*skew=*/0.9,
+                         rep.seed, /*mean_packets=*/1.0);
+        const auto& stats = scenario.run(flows);
+        rep.set(std::string("hit_pct_") + strategy_slug(strategy) +
+                    tag("_cap", static_cast<double>(cache)),
+                stats.cache_hit_fraction() * 100.0);
+        row.push_back(TextTable::num(stats.cache_hit_fraction() * 100.0, 1));
+      }
+      table.add_row(std::move(row));
+    }
+    if (rep.verbose) std::printf("%s\n", table.render().c_str());
+  });
 }

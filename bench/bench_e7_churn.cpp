@@ -33,59 +33,82 @@ Rule random_rule(Rng& rng, RuleId id) {
 
 }  // namespace
 
-int main() {
-  print_header("E7: policy-churn cost, incremental vs full repartition",
-               "network-dynamics discussion (policy changes)",
-               "incremental updates touch a small constant number of "
-               "partitions; full rebuild touches all of them");
-
-  for (const std::size_t policy_size : {1000u, 5000u}) {
-    const auto policy = classbench_like(policy_size, 41);
-    PartitionerParams params;
-    params.capacity = std::max<std::size_t>(64, policy_size / 16);
-    IncrementalPartitioner inc(policy, params, 4);
-    const auto partitions_total = inc.partition_count();
-
-    Rng rng(43);
-    OnlineStats touched_insert, touched_remove;
-    std::vector<RuleId> inserted;
-    const int ops = 400;
-
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < ops; ++i) {
-      const Rule r = random_rule(rng, 900000 + static_cast<RuleId>(i));
-      touched_insert.add(static_cast<double>(inc.insert(r).size()));
-      inserted.push_back(r.id);
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, "E7", /*default_seed=*/43);
+  return run_bench(args, [&](BenchRep& rep) {
+    if (rep.verbose) {
+      print_header("E7: policy-churn cost, incremental vs full repartition",
+                   "network-dynamics discussion (policy changes)",
+                   "incremental updates touch a small constant number of "
+                   "partitions; full rebuild touches all of them");
     }
-    for (const auto id : inserted) {
-      touched_remove.add(static_cast<double>(inc.remove(id).size()));
+
+    const int ops = args.pick(400, 150);
+    rep.report.params["ops"] = obs::Json(ops);
+    const std::vector<std::size_t> policy_sizes =
+        args.quick ? std::vector<std::size_t>{1000u}
+                   : std::vector<std::size_t>{1000u, 5000u};
+    for (const std::size_t policy_size : policy_sizes) {
+      const auto policy = classbench_like(policy_size, 41);
+      PartitionerParams params;
+      params.capacity = std::max<std::size_t>(64, policy_size / 16);
+      IncrementalPartitioner inc(policy, params, 4);
+      const auto partitions_total = inc.partition_count();
+
+      Rng rng(rep.seed);
+      OnlineStats touched_insert, touched_remove;
+      std::vector<RuleId> inserted;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < ops; ++i) {
+        const Rule r = random_rule(rng, 900000 + static_cast<RuleId>(i));
+        touched_insert.add(static_cast<double>(inc.insert(r).size()));
+        inserted.push_back(r.id);
+      }
+      for (const auto id : inserted) {
+        touched_remove.add(static_cast<double>(inc.remove(id).size()));
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      const double us_per_op =
+          std::chrono::duration<double, std::micro>(t1 - t0).count() / (2.0 * ops);
+
+      // Full repartition reference cost (time + everything touched).
+      const auto t2 = std::chrono::steady_clock::now();
+      const auto full = Partitioner(params).build(policy, 4);
+      const auto t3 = std::chrono::steady_clock::now();
+      const double full_ms = std::chrono::duration<double, std::milli>(t3 - t2).count();
+
+      const std::string suffix = tag("_n", static_cast<double>(policy_size));
+      rep.set("partitions_total" + suffix, static_cast<double>(partitions_total));
+      rep.set("insert_touched_mean" + suffix, touched_insert.mean());
+      rep.set("insert_touched_max" + suffix, touched_insert.max());
+      rep.set("remove_touched_mean" + suffix, touched_remove.mean());
+      rep.set("remove_touched_max" + suffix, touched_remove.max());
+      // Host-timing metrics carry the _wall_ marker: exempt from determinism
+      // comparisons in bench_compare and the tests.
+      rep.set("incremental_wall_us_per_op" + suffix, us_per_op);
+      rep.set("full_repartition_wall_ms" + suffix, full_ms);
+
+      if (rep.verbose) {
+        std::printf("policy: %zu rules, %zu partitions\n", policy.size(),
+                    partitions_total);
+        TextTable table({"operation", "avg partitions touched", "max", "of total",
+                         "time/op"});
+        table.add_row({"incremental insert", TextTable::num(touched_insert.mean(), 2),
+                       TextTable::num(touched_insert.max(), 0),
+                       TextTable::integer(static_cast<long long>(partitions_total)),
+                       TextTable::num(us_per_op, 1) + " us"});
+        table.add_row({"incremental remove", TextTable::num(touched_remove.mean(), 2),
+                       TextTable::num(touched_remove.max(), 0),
+                       TextTable::integer(static_cast<long long>(partitions_total)),
+                       TextTable::num(us_per_op, 1) + " us"});
+        table.add_row({"full repartition",
+                       TextTable::num(static_cast<double>(full.partitions().size()), 0),
+                       TextTable::num(static_cast<double>(full.partitions().size()), 0),
+                       TextTable::integer(static_cast<long long>(full.partitions().size())),
+                       TextTable::num(full_ms * 1000.0, 1) + " us"});
+        std::printf("%s\n", table.render().c_str());
+      }
     }
-    const auto t1 = std::chrono::steady_clock::now();
-    const double us_per_op =
-        std::chrono::duration<double, std::micro>(t1 - t0).count() / (2.0 * ops);
-
-    // Full repartition reference cost (time + everything touched).
-    const auto t2 = std::chrono::steady_clock::now();
-    const auto full = Partitioner(params).build(policy, 4);
-    const auto t3 = std::chrono::steady_clock::now();
-    const double full_ms = std::chrono::duration<double, std::milli>(t3 - t2).count();
-
-    std::printf("policy: %zu rules, %zu partitions\n", policy.size(), partitions_total);
-    TextTable table({"operation", "avg partitions touched", "max", "of total",
-                     "time/op"});
-    table.add_row({"incremental insert", TextTable::num(touched_insert.mean(), 2),
-                   TextTable::num(touched_insert.max(), 0),
-                   TextTable::integer(static_cast<long long>(partitions_total)),
-                   TextTable::num(us_per_op, 1) + " us"});
-    table.add_row({"incremental remove", TextTable::num(touched_remove.mean(), 2),
-                   TextTable::num(touched_remove.max(), 0),
-                   TextTable::integer(static_cast<long long>(partitions_total)),
-                   TextTable::num(us_per_op, 1) + " us"});
-    table.add_row({"full repartition", TextTable::num(static_cast<double>(full.partitions().size()), 0),
-                   TextTable::num(static_cast<double>(full.partitions().size()), 0),
-                   TextTable::integer(static_cast<long long>(full.partitions().size())),
-                   TextTable::num(full_ms * 1000.0, 1) + " us"});
-    std::printf("%s\n", table.render().c_str());
-  }
-  return 0;
+  });
 }

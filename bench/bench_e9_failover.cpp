@@ -7,38 +7,59 @@
 using namespace difane;
 using namespace difane::bench;
 
-int main() {
-  print_header("E9: authority failure — loss window vs detection delay",
-               "failure-recovery discussion (backup authority switches)",
-               "losses proportional to the detection window; completions "
-               "recover fully after re-pointing");
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, "E9", /*default_seed=*/61);
+  return run_bench(args, [&](BenchRep& rep) {
+    if (rep.verbose) {
+      print_header("E9: authority failure — loss window vs detection delay",
+                   "failure-recovery discussion (backup authority switches)",
+                   "losses proportional to the detection window; completions "
+                   "recover fully after re-pointing");
+    }
 
-  const auto policy = classbench_like(1500, 59);
-  TextTable table({"detect delay (ms)", "lost packets", "lost %", "completed %",
-                   "redirects"});
-  for (const double detect : {0.01, 0.05, 0.2, 0.5}) {
-    // Microflow keeps redirects flowing all run (every new flow detours), so
-    // the authority switch is exercised through the failure.
-    auto params = difane_params(2, CacheStrategy::kMicroflow);
-    params.timings.failover_detect = detect;
-    Scenario scenario(policy, params);
-    const auto flows = setup_storm(policy, 5000.0, 2.0, 61);
-    const SwitchId victim = scenario.difane()->authority_switches()[0];
-    scenario.schedule_authority_failure(1.0, victim);
-    const auto& stats = scenario.run(flows);
-    const auto lost = stats.tracer.dropped(DropReason::kSwitchFailed) +
-                      stats.tracer.dropped(DropReason::kUnreachable);
-    table.add_row(
-        {TextTable::num(detect * 1e3, 0),
-         TextTable::integer(static_cast<long long>(lost)),
-         TextTable::num(100.0 * static_cast<double>(lost) /
-                            static_cast<double>(stats.tracer.injected()),
-                        2),
-         TextTable::num(100.0 * static_cast<double>(stats.setup_completions.total()) /
-                            static_cast<double>(flows.size()),
-                        2),
-         TextTable::integer(static_cast<long long>(stats.redirects))});
-  }
-  std::printf("%s\n", table.render().c_str());
-  return 0;
+    const std::size_t policy_size = args.pick<std::size_t>(1500, 600);
+    const auto policy = classbench_like(policy_size, 59);
+    rep.report.params["policy_rules"] = obs::Json(policy_size);
+    const double duration = args.pick(2.0, 1.0);
+    const double fail_at = duration / 2.0;
+
+    TextTable table({"detect delay (ms)", "lost packets", "lost %", "completed %",
+                     "redirects"});
+    const std::vector<double> detects =
+        args.quick ? std::vector<double>{0.05, 0.5}
+                   : std::vector<double>{0.01, 0.05, 0.2, 0.5};
+    for (const double detect : detects) {
+      // Microflow keeps redirects flowing all run (every new flow detours), so
+      // the authority switch is exercised through the failure.
+      auto params = difane_params(2, CacheStrategy::kMicroflow);
+      params.timings.failover_detect = detect;
+      Scenario scenario(policy, params);
+      const auto flows = setup_storm(policy, 5000.0, duration, rep.seed);
+      const SwitchId victim = scenario.difane()->authority_switches()[0];
+      scenario.schedule_authority_failure(fail_at, victim);
+      const auto& stats = scenario.run(flows);
+      const auto lost = stats.tracer.dropped(DropReason::kSwitchFailed) +
+                        stats.tracer.dropped(DropReason::kUnreachable);
+      const std::string suffix = tag("_detect_ms", detect * 1e3);
+      rep.set("lost_packets" + suffix, static_cast<double>(lost));
+      rep.set("lost_pct" + suffix,
+              100.0 * static_cast<double>(lost) /
+                  static_cast<double>(stats.tracer.injected()));
+      rep.set("completed_pct" + suffix,
+              100.0 * static_cast<double>(stats.setup_completions.total()) /
+                  static_cast<double>(flows.size()));
+      rep.set("redirects" + suffix, static_cast<double>(stats.redirects));
+      table.add_row(
+          {TextTable::num(detect * 1e3, 0),
+           TextTable::integer(static_cast<long long>(lost)),
+           TextTable::num(100.0 * static_cast<double>(lost) /
+                              static_cast<double>(stats.tracer.injected()),
+                          2),
+           TextTable::num(100.0 * static_cast<double>(stats.setup_completions.total()) /
+                              static_cast<double>(flows.size()),
+                          2),
+           TextTable::integer(static_cast<long long>(stats.redirects))});
+    }
+    if (rep.verbose) std::printf("%s\n", table.render().c_str());
+  });
 }

@@ -1,17 +1,155 @@
-// Shared scenario builders for the experiment harnesses. Each bench binary
-// regenerates one table/figure of the DIFANE evaluation (see DESIGN.md's
-// experiment index and EXPERIMENTS.md for paper-vs-measured).
+// Shared harness for the experiment binaries. Each bench binary regenerates
+// one table/figure of the DIFANE evaluation (see DESIGN.md's experiment
+// index and EXPERIMENTS.md for paper-vs-measured) and — via the unified
+// bench::Args CLI — emits a schema-stable BENCH_<id>.json report that
+// tools/bench_all merges into a perf trajectory and tools/bench_compare
+// gates on.
+//
+// Every bench accepts the same flags:
+//   --json <path>   write the merged MetricsReport as JSON
+//   --reps N        repeat the measurement N times (seeds base, base+1, ...)
+//   --seed S        override the bench's default base seed
+//   --quick         reduced problem sizes for CI smoke runs
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/system.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 #include "workload/rulegen.hpp"
 #include "workload/trafficgen.hpp"
 
 namespace difane::bench {
+
+// ---------------------------------------------------------------------------
+// Unified CLI
+
+struct Args {
+  std::string bench_id;
+  std::string json_path;     // empty => no JSON export
+  int reps = 1;
+  std::uint64_t seed = 0;    // base seed (bench default unless --seed)
+  bool quick = false;
+
+  // Sweep helper: full-size value normally, reduced value under --quick.
+  template <typename T>
+  T pick(T full, T quick_value) const {
+    return quick ? quick_value : full;
+  }
+};
+
+[[noreturn]] inline void usage(const char* bench_id, int exit_code) {
+  std::fprintf(exit_code == 0 ? stdout : stderr,
+               "usage: %s [--json <path>] [--reps N] [--seed S] [--quick]\n"
+               "  --json <path>  write BENCH_%s-style JSON report to <path>\n"
+               "  --reps N       repetitions (metrics averaged; seeds base..base+N-1)\n"
+               "  --seed S       override the base seed\n"
+               "  --quick        reduced problem sizes (CI smoke mode)\n",
+               bench_id, bench_id);
+  std::exit(exit_code);
+}
+
+inline Args parse_args(int argc, char** argv, const char* bench_id,
+                       std::uint64_t default_seed) {
+  Args args;
+  args.bench_id = bench_id;
+  args.seed = default_seed;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", bench_id, arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      args.json_path = next();
+    } else if (arg == "--reps") {
+      args.reps = std::atoi(next());
+      if (args.reps < 1) {
+        std::fprintf(stderr, "%s: --reps must be >= 1\n", bench_id);
+        std::exit(2);
+      }
+    } else if (arg == "--seed") {
+      args.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--quick") {
+      args.quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(bench_id, 0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", bench_id, arg.c_str());
+      usage(bench_id, 2);
+    }
+  }
+  return args;
+}
+
+// One repetition's view: the seed to use, and whether to print the human
+// tables (first rep only — later reps exist to average metrics, not to
+// repeat console output).
+struct BenchRep {
+  std::uint64_t seed;
+  int index;
+  bool verbose;
+  obs::MetricsReport& report;
+
+  void set(const std::string& name, double value) { report.set(name, value); }
+};
+
+// Run `body` args.reps times, average the collected metrics, export JSON if
+// requested. Returns the process exit code.
+template <typename Fn>
+int run_bench(const Args& args, Fn&& body) {
+  std::printf("[%s] seed=%llu reps=%d%s\n", args.bench_id.c_str(),
+              static_cast<unsigned long long>(args.seed), args.reps,
+              args.quick ? " quick" : "");
+  try {
+    std::vector<obs::MetricsReport> reps;
+    for (int r = 0; r < args.reps; ++r) {
+      obs::MetricsReport report(args.bench_id);
+      BenchRep rep{args.seed + static_cast<std::uint64_t>(r), r, r == 0, report};
+      const auto t0 = std::chrono::steady_clock::now();
+      body(rep);
+      report.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      reps.push_back(std::move(report));
+    }
+    obs::MetricsReport merged = obs::merge_reps(reps);
+    merged.params["base_seed"] = obs::Json(static_cast<double>(args.seed));
+    merged.params["reps"] = obs::Json(args.reps);
+    merged.params["quick"] = obs::Json(args.quick);
+    if (!args.json_path.empty()) {
+      merged.write_json_file(args.json_path);
+      std::printf("[%s] wrote %s (%zu metrics)\n", args.bench_id.c_str(),
+                  args.json_path.c_str(), merged.metrics.size());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[%s] failed: %s\n", args.bench_id.c_str(), e.what());
+    return 1;
+  }
+}
+
+// Stable metric-key suffix for a sweep point: "_at_100000" etc. Integral
+// values render without a fractional part (obs::format_number).
+inline std::string tag(const std::string& prefix, double value) {
+  std::string t = obs::format_number(value);
+  for (auto& c : t) {
+    if (c == '.' || c == '-' || c == '+') c = '_';
+  }
+  return prefix + "_" + t;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario/workload builders shared by the experiment harnesses.
 
 // A pure flow-setup storm: single-packet flows, (almost) all distinct, so
 // every arrival exercises the miss path. This is the workload behind the

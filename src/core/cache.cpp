@@ -10,6 +10,7 @@ const char* cache_strategy_name(CacheStrategy strategy) {
     case CacheStrategy::kMicroflow: return "microflow";
     case CacheStrategy::kDependentSet: return "dependent-set";
     case CacheStrategy::kCoverSet: return "cover-set";
+    case CacheStrategy::kNone: return "none";
   }
   return "?";
 }
@@ -65,6 +66,8 @@ CacheInstall CacheRuleGenerator::generate(const BitVec& packet,
 
   CacheInstall install;
   switch (strategy_) {
+    case CacheStrategy::kNone:
+      return install;  // pure redirection: never install anything
     case CacheStrategy::kMicroflow: {
       install = microflow_install(packet, matched);
       break;
@@ -142,6 +145,8 @@ CacheInstall CacheRuleGenerator::microflow_install(const BitVec& packet,
 std::size_t CacheRuleGenerator::cost_of(std::size_t idx) {
   expects(idx < partition_.rules.size(), "cost_of: bad rule index");
   switch (strategy_) {
+    case CacheStrategy::kNone:
+      return 0;
     case CacheStrategy::kMicroflow:
       return 1;
     case CacheStrategy::kDependentSet:

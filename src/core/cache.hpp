@@ -26,7 +26,17 @@
 
 namespace difane {
 
-enum class CacheStrategy : std::uint8_t { kMicroflow = 0, kDependentSet, kCoverSet };
+// kNone declares "no ingress caching at all" — every flow keeps taking the
+// authority redirect (pure redirection). It exists so an experiment that
+// wants the uncached data point says so explicitly instead of smuggling it
+// in through a zero cache capacity (ScenarioParams::validate() rejects a
+// zero edge_cache_capacity under any installing strategy).
+enum class CacheStrategy : std::uint8_t {
+  kMicroflow = 0,
+  kDependentSet,
+  kCoverSet,
+  kNone,
+};
 
 const char* cache_strategy_name(CacheStrategy strategy);
 

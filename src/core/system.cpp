@@ -13,8 +13,64 @@ const char* mode_name(Mode mode) {
   return "?";
 }
 
+void ScenarioParams::validate() const {
+  if (edge_switches == 0) {
+    throw ConfigError("edge_switches", "need at least one edge switch");
+  }
+  if (core_switches == 0) {
+    throw ConfigError("core_switches", "need at least one core switch");
+  }
+  if (topology == TopologyKind::kLine && core_switches > edge_switches) {
+    throw ConfigError("core_switches",
+                      "line topology places authority state on chain nodes; "
+                      "core_switches must be <= edge_switches (" +
+                          std::to_string(core_switches) + " > " +
+                          std::to_string(edge_switches) + ")");
+  }
+  if (mode == Mode::kDifane) {
+    if (authority_count == 0) {
+      throw ConfigError("authority_count", "DIFANE needs an authority switch");
+    }
+    if (authority_count > core_switches) {
+      throw ConfigError("authority_count",
+                        "authority_count must fit in the core tier (" +
+                            std::to_string(authority_count) + " > " +
+                            std::to_string(core_switches) + ")");
+    }
+    if (authority_replicas == 0) {
+      throw ConfigError("authority_replicas", "need at least one replica");
+    }
+    // authority_replicas > authority_count is NOT rejected: the controller
+    // clamps to the authority count (a documented convenience, relied on by
+    // "replicate everywhere" configs).
+    if (partitioner.capacity == 0) {
+      throw ConfigError("partitioner.capacity",
+                        "a zero-capacity partition can hold no rules");
+    }
+    if (max_splice_cost == 0) {
+      throw ConfigError("max_splice_cost",
+                        "a zero splice budget forbids every cache install; "
+                        "use CacheStrategy::kNone to disable caching");
+    }
+  }
+  // A zero cache with an installing strategy silently drops every install —
+  // the classic mis-wire. Pure redirection must be declared via kNone.
+  if (edge_cache_capacity == 0 && cache_strategy != CacheStrategy::kNone) {
+    throw ConfigError("edge_cache_capacity",
+                      "zero cache capacity with an installing cache strategy; "
+                      "set CacheStrategy::kNone for pure redirection");
+  }
+  if (timings.authority_service <= 0.0) {
+    throw ConfigError("timings.authority_service", "service time must be > 0");
+  }
+  if (timings.ttl_hops == 0) {
+    throw ConfigError("timings.ttl_hops", "a zero TTL drops every packet");
+  }
+}
+
 Scenario::Scenario(RuleTable policy, ScenarioParams params)
     : policy_(std::move(policy)), params_(params) {
+  params_.validate();
   switch (params_.topology) {
     case TopologyKind::kTwoTier:
       topo_ = build_two_tier(net_, params_.edge_switches, params_.core_switches,
@@ -23,9 +79,6 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
                              params_.link);
       break;
     case TopologyKind::kLine: {
-      expects(params_.core_switches >= 1 &&
-                  params_.core_switches <= params_.edge_switches,
-              "Scenario: line needs 1..N authority positions");
       const auto line = build_line(net_, params_.edge_switches,
                                    params_.edge_cache_capacity, params_.link);
       topo_.edge = line;
@@ -40,9 +93,6 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
   }
   switch (params_.mode) {
     case Mode::kDifane: {
-      expects(params_.authority_count >= 1 &&
-                  params_.authority_count <= params_.core_switches,
-              "Scenario: authority_count must fit in the core tier");
       std::vector<SwitchId> authorities(topo_.core.begin(),
                                         topo_.core.begin() + params_.authority_count);
       DifaneControllerParams cp;
@@ -75,6 +125,51 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
     install_channels_.push_back(
         std::make_unique<ControlChannel>(net_.engine(), *agents_.back(), latency));
   }
+}
+
+obs::MetricsReport ScenarioStats::snapshot(const std::string& experiment) const {
+  obs::MetricsReport report(experiment);
+  // Packet accounting.
+  report.set("injected", static_cast<double>(tracer.injected()));
+  report.set("delivered", static_cast<double>(tracer.delivered()));
+  report.set("dropped_total", static_cast<double>(tracer.dropped()));
+  for (std::size_t i = 0; i < kNumDropReasons; ++i) {
+    const auto reason = static_cast<DropReason>(i);
+    report.set(std::string("dropped_") + drop_reason_name(reason),
+               static_cast<double>(tracer.dropped(reason)));
+  }
+  report.set("redirected_packets", static_cast<double>(tracer.redirected()));
+  report.set("hops_mean", tracer.hops().mean());
+  // Delay distributions (simulated seconds — deterministic, not wall time).
+  const auto& first = tracer.first_packet_delay();
+  report.set("first_delay_count", static_cast<double>(first.count()));
+  if (!first.empty()) {
+    report.set("first_delay_mean_s", first.mean());
+    report.set("first_delay_p50_s", first.percentile(0.50));
+    report.set("first_delay_p90_s", first.percentile(0.90));
+    report.set("first_delay_p99_s", first.percentile(0.99));
+  }
+  const auto& later = tracer.later_packet_delay();
+  if (!later.empty()) {
+    report.set("later_delay_p50_s", later.percentile(0.50));
+    report.set("later_delay_p99_s", later.percentile(0.99));
+  }
+  // Control-plane / caching behaviour.
+  report.set("ingress_cache_hits", static_cast<double>(ingress_cache_hits));
+  report.set("ingress_local_hits", static_cast<double>(ingress_local_hits));
+  report.set("redirects", static_cast<double>(redirects));
+  report.set("queue_rejects", static_cast<double>(queue_rejects));
+  report.set("cache_installs", static_cast<double>(cache_installs));
+  report.set("cache_rules_installed", static_cast<double>(cache_rules_installed));
+  report.set("cache_hit_mismatches", static_cast<double>(cache_hit_mismatches));
+  report.set("cache_hit_fraction", cache_hit_fraction());
+  if (stretch.count() > 0) {
+    report.set("stretch_p50", stretch.percentile(0.50));
+    report.set("stretch_p99", stretch.percentile(0.99));
+  }
+  report.set("setup_completions", static_cast<double>(setup_completions.total()));
+  report.set("setup_rate_per_s", setup_completions.rate());
+  return report;
 }
 
 std::vector<FlowStatsEntry> Scenario::query_flow_stats() const {
@@ -126,6 +221,7 @@ void Scenario::dispose(const Packet& pkt, bool delivered, DropReason reason) {
 }
 
 void Scenario::process(SwitchId at, Packet pkt) {
+  obs_packets_->inc();
   Switch& sw = net_.sw(at);
   if (sw.failed()) {
     dispose(pkt, false, DropReason::kSwitchFailed);
@@ -182,6 +278,7 @@ void Scenario::process(SwitchId at, Packet pkt) {
 }
 
 void Scenario::handle_authority(SwitchId at, Packet pkt) {
+  obs_authority_->inc();
   const double now = net_.engine().now();
   auto queue_it = authority_queues_.find(at);
   expects(queue_it != authority_queues_.end(),
@@ -221,7 +318,9 @@ void Scenario::install_cache(SwitchId ingress, const CacheInstall& install) {
   // A group that cannot fit would evict its own members while installing,
   // leaving an unprotected rule behind; skip it (the flow keeps taking the
   // redirect path, which is always correct).
+  if (install.rules.empty()) return;  // kNone: nothing to install
   if (install.rules.size() > params_.edge_cache_capacity) return;
+  obs_installs_->inc();
   ++stats_.cache_installs;
   stats_.cache_rules_installed += install.rules.size();
   // Protectors first: until the lowest-priority member lands, a partially

@@ -14,6 +14,8 @@
 #include "core/difane_controller.hpp"
 #include "ctrlchan/channel.hpp"
 #include "netsim/tracer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "workload/trafficgen.hpp"
 
 namespace difane {
@@ -62,6 +64,12 @@ struct ScenarioParams {
   // reference policy and log the first few mismatches. Costs a policy match
   // per packet; for debugging and the transparency tests.
   bool verify_cache_hits = false;
+
+  // Reject mis-wired parameter combinations before any topology or control
+  // plane is built. Throws difane::ConfigError naming the offending field.
+  // The Scenario constructor calls this; call it yourself to fail fast when
+  // assembling params from external input (CLI flags, config files).
+  void validate() const;
 };
 
 struct ScenarioStats {
@@ -81,6 +89,14 @@ struct ScenarioStats {
                        static_cast<double>(total)
                  : 0.0;
   }
+
+  // Flatten every measurement into one structured report — the single
+  // surface the exporters, benches, and tests consume, instead of each
+  // caller poking tracer/stretch/setup_completions fields. Keys are stable
+  // (see EXPERIMENTS.md "Reading BENCH_*.json"); values are derived purely
+  // from the deterministic simulation, so the same seed produces a
+  // byte-identical report modulo git_rev/wall_seconds.
+  obs::MetricsReport snapshot(const std::string& experiment = "scenario") const;
 };
 
 class Scenario {
@@ -138,6 +154,15 @@ class Scenario {
   std::vector<std::unique_ptr<SwitchAgent>> agents_;
   std::vector<std::unique_ptr<ControlChannel>> install_channels_;
   ScenarioStats stats_;
+  // Process-wide observability hooks, resolved once here so the per-packet
+  // cost is a single relaxed atomic increment (nothing at all when built
+  // with DIFANE_OBS=OFF).
+  obs::Counter* obs_packets_ =
+      obs::MetricsRegistry::global().counter("scenario_packets_processed");
+  obs::Counter* obs_authority_ =
+      obs::MetricsRegistry::global().counter("scenario_authority_handled");
+  obs::Counter* obs_installs_ =
+      obs::MetricsRegistry::global().counter("scenario_cache_installs");
 };
 
 }  // namespace difane

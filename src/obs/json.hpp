@@ -1,0 +1,95 @@
+// Minimal JSON value type for the observability pipeline: the bench
+// exporters, trajectory merger, and compare tool all speak this. Two
+// properties matter more than generality:
+//   1. Deterministic output — object keys are stored sorted (std::map) and
+//      numbers render via std::to_chars (shortest round-trip), so the same
+//      report serializes to the same bytes on every run. The determinism
+//      test and the bench_compare gate both rely on this.
+//   2. Round-tripping — parse(dump(v)) == v for everything we emit.
+// Not a general-purpose JSON library: no comments, no NaN/Inf (rejected on
+// write), UTF-8 passed through verbatim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace difane::obs {
+
+class Json;
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;  // sorted keys => stable dumps
+
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}
+  Json(int v) : kind_(Kind::kNumber), num_(v) {}
+  Json(long v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(long long v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(unsigned v) : kind_(Kind::kNumber), num_(v) {}
+  Json(unsigned long v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(unsigned long long v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Json(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  Json(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors throw std::runtime_error on a kind mismatch, so schema
+  // validation failures surface as exceptions with context.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  // Object convenience: operator[] inserts null on a missing key (and turns
+  // a null value into an object, like nlohmann); get() is the const lookup
+  // that throws naming the missing key.
+  Json& operator[](const std::string& key);
+  const Json& get(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  bool operator==(const Json& other) const;
+
+  // Serialize. indent < 0 => compact single line; indent >= 0 => pretty
+  // printed with that many spaces per level. Deterministic either way.
+  std::string dump(int indent = -1) const;
+
+  // Parse a complete JSON document; trailing garbage is an error. Throws
+  // std::runtime_error with a byte offset on malformed input.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+// Render a double the way dump() does: integers without a fractional part,
+// everything else via shortest-round-trip to_chars. Exposed because the CSV
+// exporter and tests need the identical formatting.
+std::string format_number(double v);
+
+}  // namespace difane::obs

@@ -32,4 +32,20 @@ inline void ensures(bool cond, const char* what = "postcondition violated",
   }
 }
 
+// A rejected configuration: some parameter struct (ScenarioParams and
+// friends) was mis-wired. Carries the offending field name so callers and
+// tests can assert on *which* knob was wrong, not just that something was.
+// Derives from contract_violation: a bad config is a precondition violation,
+// and existing EXPECT_THROW(..., contract_violation) sites keep passing.
+class ConfigError : public contract_violation {
+ public:
+  ConfigError(std::string field, const std::string& message)
+      : contract_violation("ConfigError[" + field + "]: " + message),
+        field_(std::move(field)) {}
+  const std::string& field() const { return field_; }
+
+ private:
+  std::string field_;
+};
+
 }  // namespace difane

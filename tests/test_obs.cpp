@@ -1,0 +1,328 @@
+// Observability layer: JSON value round-trips, the versioned report schema,
+// rep merging, and MetricsRegistry behavior under concurrency. The exporter
+// guarantees under test: sorted keys + shortest-round-trip numbers make the
+// serialized form byte-deterministic, and the schema validator rejects any
+// structurally wrong document with a message naming the problem.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace difane::obs {
+namespace {
+
+// --------------------------------------------------------------------------
+// Json
+
+TEST(Json, RoundTripsScalarsAndContainers) {
+  Json::Object obj;
+  obj["flag"] = Json(true);
+  obj["count"] = Json(42);
+  obj["ratio"] = Json(0.125);
+  obj["name"] = Json("difane");
+  obj["nothing"] = Json();
+  obj["list"] = Json(std::vector<Json>{Json(1), Json("two"), Json(false)});
+  const Json doc(obj);
+
+  const Json parsed = Json::parse(doc.dump(2));
+  EXPECT_EQ(parsed, doc);
+  EXPECT_EQ(parsed.get("count").as_number(), 42.0);
+  EXPECT_EQ(parsed.get("name").as_string(), "difane");
+  EXPECT_TRUE(parsed.get("nothing").is_null());
+  EXPECT_EQ(parsed.get("list").as_array().size(), 3u);
+}
+
+TEST(Json, DumpIsByteStableAcrossInsertionOrder) {
+  Json a, b;
+  a["zeta"] = Json(1);
+  a["alpha"] = Json(2);
+  b["alpha"] = Json(2);
+  b["zeta"] = Json(1);
+  // std::map ordering makes the dump independent of insertion order.
+  EXPECT_EQ(a.dump(2), b.dump(2));
+  EXPECT_EQ(a.dump(), "{\"alpha\":2,\"zeta\":1}");
+}
+
+TEST(Json, EscapesAndParsesSpecialStrings) {
+  const std::string text = "line\n\"quote\"\t\\back\\ \x01";
+  const Json doc(text);
+  EXPECT_EQ(Json::parse(doc.dump()).as_string(), text);
+  EXPECT_EQ(Json::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, IntegralNumbersPrintWithoutFraction) {
+  EXPECT_EQ(format_number(1209.0), "1209");
+  EXPECT_EQ(format_number(0.0), "0");
+  EXPECT_EQ(format_number(-17.0), "-17");
+  // Non-integral values keep the shortest round-trip form.
+  const double v = 0.1;
+  EXPECT_EQ(Json::parse(format_number(v)).as_number(), v);
+}
+
+TEST(Json, ParseRejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1 2]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nul"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{} trailing"), std::runtime_error);
+}
+
+TEST(Json, AccessorsThrowOnKindMismatch) {
+  const Json num(3.5);
+  EXPECT_THROW(num.as_string(), std::runtime_error);
+  EXPECT_THROW(num.get("missing"), std::runtime_error);
+  Json obj;
+  obj["present"] = Json(1);
+  EXPECT_THROW(obj.get("absent"), std::runtime_error);
+  EXPECT_TRUE(obj.contains("present"));
+}
+
+// --------------------------------------------------------------------------
+// Report schema
+
+MetricsReport sample_report() {
+  MetricsReport report("E1");
+  report.params["policy_rules"] = Json(1000);
+  report.params["quick"] = Json(false);
+  report.set("difane_peak_flows_per_s", 812345.5);
+  report.set("nox_peak_flows_per_s", 50000.0);
+  report.set("build_wall_ms", 12.5);
+  report.wall_seconds = 1.75;
+  return report;
+}
+
+TEST(Report, JsonRoundTripPreservesEverything) {
+  const MetricsReport report = sample_report();
+  const MetricsReport back =
+      MetricsReport::from_json(Json::parse(report.to_json_string()));
+  EXPECT_EQ(back.experiment, report.experiment);
+  EXPECT_EQ(back.git_rev, report.git_rev);
+  EXPECT_EQ(back.metrics, report.metrics);
+  EXPECT_EQ(back.wall_seconds, report.wall_seconds);
+  EXPECT_EQ(Json(back.params), Json(report.params));
+}
+
+TEST(Report, SchemaShapeIsStable) {
+  const Json doc = Json::parse(sample_report().to_json_string());
+  // The versioned contract consumers (bench_compare, external tooling) rely
+  // on: these exact top-level fields, nothing fewer.
+  EXPECT_EQ(doc.get("schema").as_string(), "difane-bench-report-v1");
+  EXPECT_EQ(doc.get("experiment").as_string(), "E1");
+  EXPECT_TRUE(doc.get("git_rev").is_string());
+  EXPECT_TRUE(doc.get("params").is_object());
+  EXPECT_TRUE(doc.get("metrics").is_object());
+  EXPECT_TRUE(doc.get("wall_seconds").is_number());
+}
+
+TEST(Report, FromJsonValidatesSchema) {
+  const auto mutate = [](const char* field, Json value) {
+    Json doc = Json::parse(sample_report().to_json_string());
+    doc[field] = std::move(value);
+    return doc;
+  };
+  EXPECT_THROW(MetricsReport::from_json(mutate("schema", Json("bogus-v9"))),
+               std::runtime_error);
+  EXPECT_THROW(MetricsReport::from_json(mutate("metrics", Json(3))),
+               std::runtime_error);
+  EXPECT_THROW(MetricsReport::from_json(mutate("experiment", Json())),
+               std::runtime_error);
+  Json no_metrics = Json::parse(sample_report().to_json_string());
+  no_metrics.as_object().erase("metrics");
+  EXPECT_THROW(MetricsReport::from_json(no_metrics), std::runtime_error);
+  // Non-numeric metric values are rejected, not coerced.
+  Json bad_metric = Json::parse(sample_report().to_json_string());
+  bad_metric["metrics"]["oops"] = Json("NaN-ish");
+  EXPECT_THROW(MetricsReport::from_json(bad_metric), std::runtime_error);
+}
+
+TEST(Report, WallMetricNamingConvention) {
+  EXPECT_TRUE(is_wall_metric("wall_seconds"));
+  EXPECT_TRUE(is_wall_metric("incremental_wall_us_per_op_n_1000"));
+  EXPECT_TRUE(is_wall_metric("dtree_build_wall_ms_n_100"));
+  EXPECT_FALSE(is_wall_metric("difane_peak_flows_per_s"));
+  EXPECT_FALSE(is_wall_metric("wallaby"));
+}
+
+TEST(Report, MergeRepsAveragesMetrics) {
+  MetricsReport a("E2"), b("E2");
+  a.set("rate", 100.0);
+  b.set("rate", 200.0);
+  a.set("only_in_a", 1.0);
+  a.wall_seconds = 1.0;
+  b.wall_seconds = 3.0;
+  a.params["reps_param"] = Json(7);
+  const MetricsReport merged = merge_reps({a, b});
+  EXPECT_EQ(merged.metrics.at("rate"), 150.0);
+  // Metrics missing from some rep (conditional table rows) keep the first
+  // rep's value instead of a partial average that would silently skew.
+  EXPECT_EQ(merged.metrics.at("only_in_a"), 1.0);
+  EXPECT_EQ(merged.wall_seconds, 2.0);
+  EXPECT_EQ(merged.params.at("reps_param").as_number(), 7.0);
+}
+
+TEST(Report, TrajectoryRoundTrip) {
+  Trajectory traj;
+  traj.base_seed = 77;
+  traj.experiments.emplace("E1", sample_report());
+  MetricsReport e4("E4");
+  e4.set("duplication_k_2", 1.209);
+  traj.experiments.emplace("E4", e4);
+
+  const Trajectory back = Trajectory::from_json(traj.to_json());
+  EXPECT_EQ(back.base_seed, 77u);
+  ASSERT_EQ(back.experiments.size(), 2u);
+  EXPECT_EQ(back.experiments.at("E4").metrics.at("duplication_k_2"), 1.209);
+  EXPECT_EQ(back.experiments.at("E1").metrics,
+            traj.experiments.at("E1").metrics);
+  EXPECT_THROW(Trajectory::from_json(Json::parse("{\"schema\":\"wrong\"}")),
+               std::runtime_error);
+}
+
+TEST(Report, CsvExportListsEveryMetric) {
+  const std::string csv = sample_report().to_csv();
+  EXPECT_NE(csv.find("experiment,metric,value"), std::string::npos);
+  EXPECT_NE(csv.find("E1,difane_peak_flows_per_s,"), std::string::npos);
+  EXPECT_NE(csv.find("E1,nox_peak_flows_per_s,"), std::string::npos);
+}
+
+TEST(Report, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "obs_report_roundtrip.json";
+  const MetricsReport report = sample_report();
+  report.write_json_file(path);
+  const MetricsReport back = MetricsReport::from_json(load_json_file(path));
+  EXPECT_EQ(back.metrics, report.metrics);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_json_file(path), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// Metrics instruments
+
+TEST(Metrics, CounterGaugeTimerBasics) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  MetricsRegistry registry;
+  auto* counter = registry.counter("ops");
+  counter->inc();
+  counter->inc(4);
+  EXPECT_EQ(counter->value(), 5u);
+
+  auto* gauge = registry.gauge("depth");
+  gauge->set(3.0);
+  gauge->add(1.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 4.5);
+
+  auto* timer = registry.timer("build");
+  timer->record(0.25);
+  timer->record(0.75);
+  EXPECT_EQ(timer->count(), 2u);
+  EXPECT_DOUBLE_EQ(timer->total_seconds(), 1.0);
+
+  // Same name => same instrument (the registry is the identity map).
+  EXPECT_EQ(registry.counter("ops"), counter);
+}
+
+TEST(Metrics, HistogramBucketsAndPercentiles) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  MetricsRegistry registry;
+  auto* histogram = registry.histogram("delay", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 50; ++i) histogram->observe(0.5);    // bucket <=1
+  for (int i = 0; i < 30; ++i) histogram->observe(5.0);    // bucket <=10
+  for (int i = 0; i < 15; ++i) histogram->observe(50.0);   // bucket <=100
+  for (int i = 0; i < 5; ++i) histogram->observe(1000.0);  // overflow
+  EXPECT_EQ(histogram->count(), 100u);
+  EXPECT_DOUBLE_EQ(histogram->sum(), 50 * 0.5 + 30 * 5.0 + 15 * 50.0 + 5 * 1000.0);
+  EXPECT_LE(histogram->percentile(0.5), 1.0);
+  EXPECT_LE(histogram->percentile(0.79), 10.0);
+  // Ranks landing in the overflow bucket report the last finite bound.
+  EXPECT_EQ(histogram->percentile(0.99), 100.0);
+}
+
+TEST(Metrics, SnapshotFlattensInstruments) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  MetricsRegistry registry;
+  registry.counter("hits")->inc(7);
+  registry.gauge("load")->set(0.5);
+  registry.timer("build")->record(2.0);
+  registry.histogram("lat", {1.0})->observe(0.5);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.at("hits"), 7.0);
+  EXPECT_EQ(snap.at("load"), 0.5);
+  EXPECT_EQ(snap.at("build_wall_seconds"), 2.0);
+  EXPECT_EQ(snap.at("build_count"), 1.0);
+  EXPECT_EQ(snap.at("lat_count"), 1.0);
+  EXPECT_TRUE(snap.count("lat_p50"));
+}
+
+TEST(Metrics, ResetZeroesButKeepsPointersValid) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  MetricsRegistry registry;
+  auto* counter = registry.counter("c");
+  auto* histogram = registry.histogram("h", {1.0});
+  counter->inc(3);
+  histogram->observe(0.5);
+  registry.reset();
+  EXPECT_EQ(counter->value(), 0u);  // same pointer, zeroed in place
+  EXPECT_EQ(histogram->count(), 0u);
+  counter->inc();
+  EXPECT_EQ(registry.counter("c")->value(), 1u);
+}
+
+// ctest -L unit concurrency check: hammer one registry from several threads;
+// every increment must land (atomics, no torn counts), and instrument lookup
+// must be safe concurrently with updates.
+TEST(Metrics, RegistryIsThreadSafe) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &ready, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      // Mix of shared and per-thread instruments, resolved inside the loop so
+      // name lookup races with updates.
+      for (int i = 0; i < kIters; ++i) {
+        registry.counter("shared")->inc();
+        registry.counter("t" + std::to_string(t))->inc();
+        registry.gauge("g_shared")->add(1.0);
+        registry.histogram("h_shared", {10.0, 1000.0})
+            ->observe(static_cast<double>(i % 2000));
+        registry.timer("w_shared")->record(1e-6);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(registry.counter("shared")->value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.counter("t" + std::to_string(t))->value(),
+              static_cast<std::uint64_t>(kIters));
+  }
+  EXPECT_DOUBLE_EQ(registry.gauge("g_shared")->value(),
+                   static_cast<double>(kThreads) * kIters);
+  EXPECT_EQ(registry.histogram("h_shared", {10.0, 1000.0})->count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(registry.timer("w_shared")->count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(Metrics, GlobalRegistryIsASingleton) {
+  auto* a = MetricsRegistry::global().counter("test_obs_global_probe");
+  auto* b = MetricsRegistry::global().counter("test_obs_global_probe");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace difane::obs

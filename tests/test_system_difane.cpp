@@ -194,7 +194,7 @@ TEST(SystemDifane, ZeroAuthorityCountRejected) {
   const auto policy = classbench_like(50, 31);
   auto params = difane_params(1);
   params.authority_count = 0;
-  EXPECT_THROW(Scenario(policy, params), contract_violation);
+  EXPECT_THROW(Scenario(policy, params), ConfigError);
 }
 
 }  // namespace

@@ -87,7 +87,7 @@ TEST(LineTopology, AuthorityPositionsSpacedAndDistinct) {
 
 TEST(LineTopology, BadAuthorityCountRejected) {
   const auto policy = classbench_like(50, 151);
-  EXPECT_THROW(Scenario(policy, line_params(4, 5)), contract_violation);
+  EXPECT_THROW(Scenario(policy, line_params(4, 5)), ConfigError);
 }
 
 }  // namespace

@@ -2,20 +2,42 @@
 # Full verification sweep: the tier-1 build+test pass, then the same suite
 # plus a short differential fuzz soak under ASan+UBSan (DIFANE_SANITIZE=ON).
 #
-#   tools/check.sh [FUZZ_SECONDS]
+#   tools/check.sh [--quick-bench] [FUZZ_SECONDS]
 #
 # FUZZ_SECONDS (default 30) bounds the sanitized fuzz_difane run. Both build
 # trees are kept (build/ and build-san/) so incremental re-runs are cheap.
+#
+# --quick-bench additionally runs the whole bench pipeline in --quick mode
+# (bench_all over E1-E10/A1-A2), verifies every report merged into the
+# trajectory file, and re-runs it to confirm the deterministic metrics
+# reproduce byte-for-byte (bench_compare at threshold 0).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-fuzz_seconds="${1:-30}"
+quick_bench=0
+fuzz_seconds=30
+for arg in "$@"; do
+  case "$arg" in
+    --quick-bench) quick_bench=1 ;;
+    *) fuzz_seconds="$arg" ;;
+  esac
+done
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 echo "== tier-1: normal build + ctest =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$quick_bench" == 1 ]]; then
+  echo "== quick-bench: bench_all --quick + determinism gate =="
+  ./build/tools/bench_all --quick --jobs "$jobs" \
+    --dir build/bench-reports --out build/BENCH_trajectory.json
+  ./build/tools/bench_all --quick --jobs "$jobs" \
+    --dir build/bench-reports-2 --out build/BENCH_trajectory_2.json
+  ./build/tools/bench_compare build/BENCH_trajectory.json \
+    build/BENCH_trajectory_2.json
+fi
 
 echo "== sanitized: ASan+UBSan build + ctest + ${fuzz_seconds}s fuzz =="
 cmake -B build-san -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDIFANE_SANITIZE=ON
