@@ -289,7 +289,7 @@ void Scenario::handle_authority(SwitchId at, Packet pkt) {
     dispose(pkt, false, DropReason::kControllerQueue);
     return;
   }
-  net_.engine().at(*completion, [this, at, pkt]() mutable {
+  auto resolve = [this, at, pkt]() mutable {
     AuthorityNode* node = difane_->node_at(at);
     ensures(node != nullptr, "authority switch lost its control node");
     pkt.encap_target.reset();
@@ -311,7 +311,11 @@ void Scenario::handle_authority(SwitchId at, Packet pkt) {
     net_.sw(at).table().hit(result->winner->id, Band::kAuthority,
                             net_.engine().now(), pkt.bytes);
     apply_action(at, pkt, result->winner->action);
-  });
+  };
+  static_assert(Engine::Handler::fits_inline<decltype(resolve)>,
+                "authority-resolution capture must fit the engine's inline "
+                "handler storage (raise Engine::kInlineHandlerBytes)");
+  net_.engine().at(*completion, std::move(resolve));
 }
 
 void Scenario::install_cache(SwitchId ingress, const CacheInstall& install) {
@@ -352,7 +356,7 @@ void Scenario::punt_to_controller(Packet pkt) {
       dispose(pkt, false, DropReason::kControllerQueue);
       return;
     }
-    net_.engine().at(decision->ready_time, [this, pkt, decision]() mutable {
+    auto resume = [this, pkt, decision]() mutable {
       if (decision->winner == nullptr) {
         dispose(pkt, false, DropReason::kNoRule);
         return;
@@ -377,7 +381,12 @@ void Scenario::punt_to_controller(Packet pkt) {
         }
         apply_action(pkt.ingress, pkt, action);
       });
-    });
+    };
+    static_assert(Engine::Handler::fits_inline<decltype(resume)>,
+                  "NOX resume capture (packet + controller decision) must fit "
+                  "the engine's inline handler storage — it is the largest "
+                  "event capture in core/system.cpp");
+    net_.engine().at(decision->ready_time, std::move(resume));
   });
 }
 
@@ -440,7 +449,10 @@ void Scenario::forward_hop(SwitchId at, SwitchId toward, Packet pkt) {
   const double now = net_.engine().now();
   const double delivery = link->send(now, pkt.bytes) + params_.timings.switch_proc;
   pkt.hops += 1;
-  net_.engine().at(delivery, [this, nh, pkt]() { process(nh, pkt); });
+  auto hop = [this, nh, pkt]() { process(nh, pkt); };
+  static_assert(Engine::Handler::fits_inline<decltype(hop)>,
+                "per-hop capture must fit the engine's inline handler storage");
+  net_.engine().at(delivery, std::move(hop));
 }
 
 void Scenario::schedule_authority_failure(SimTime when, SwitchId authority) {

@@ -42,21 +42,32 @@ struct BitVec {
   }
 
   // Write `width` bits of `value` starting at `offset` (LSB of the field at
-  // `offset`). Fields never straddle more than two words given width <= 64.
+  // `offset`). Fields never straddle more than two words given width <= 64,
+  // so this is one or two masked word writes. Bits of `value` above `width`
+  // are ignored.
   void set_bits(std::size_t offset, std::size_t width, std::uint64_t value) {
     expects(width >= 1 && width <= 64 && offset + width <= kHeaderBits,
             "BitVec: bad field bounds");
-    for (std::size_t i = 0; i < width; ++i) set(offset + i, (value >> i) & 1ULL);
+    const std::size_t word = offset / 64;
+    const std::size_t shift = offset % 64;  // <= 63, so shifts below are defined
+    const std::uint64_t field = width == 64 ? ~0ULL : (1ULL << width) - 1ULL;
+    value &= field;
+    w[word] = (w[word] & ~(field << shift)) | (value << shift);
+    if (shift + width > 64) {
+      const std::uint64_t hi = (1ULL << (shift + width - 64)) - 1ULL;
+      w[word + 1] = (w[word + 1] & ~hi) | (value >> (64 - shift));
+    }
   }
 
   std::uint64_t get_bits(std::size_t offset, std::size_t width) const {
     expects(width >= 1 && width <= 64 && offset + width <= kHeaderBits,
             "BitVec: bad field bounds");
-    std::uint64_t out = 0;
-    for (std::size_t i = 0; i < width; ++i) {
-      out |= static_cast<std::uint64_t>(get(offset + i)) << i;
-    }
-    return out;
+    const std::size_t word = offset / 64;
+    const std::size_t shift = offset % 64;
+    const std::uint64_t field = width == 64 ? ~0ULL : (1ULL << width) - 1ULL;
+    std::uint64_t out = w[word] >> shift;
+    if (shift + width > 64) out |= w[word + 1] << (64 - shift);
+    return out & field;
   }
 
   bool is_zero() const {

@@ -1,31 +1,48 @@
 #include "netsim/engine.hpp"
 
+#include <algorithm>
+
 namespace difane {
 
 void Engine::at(SimTime when, Handler fn) {
   expects(when >= now_, "Engine: cannot schedule in the past");
-  queue_.push(Event{when, seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  }
+  heap_.push_back(HeapItem{when, seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 std::uint64_t Engine::run(SimTime until, std::uint64_t max_events) {
   std::uint64_t count = 0;
-  while (!queue_.empty() && count < max_events) {
-    const Event& top = queue_.top();
+  while (!heap_.empty() && count < max_events) {
+    const HeapItem top = heap_.front();
     if (top.when > until) break;
-    // Move the handler out before popping so re-entrant scheduling is safe.
-    Handler fn = std::move(const_cast<Event&>(top).fn);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    // Move the handler out and recycle the slot before invoking, so
+    // re-entrant scheduling is safe (it may reuse this very slot).
+    Handler fn = std::move(slots_[top.slot]);
+    free_slots_.push_back(top.slot);
     now_ = top.when;
-    queue_.pop();
     fn();
     ++count;
     ++executed_;
   }
-  if (queue_.empty() && now_ < until && until < 1e18) now_ = until;
+  if (heap_.empty() && now_ < until && until < 1e18) now_ = until;
   return count;
 }
 
 void Engine::clear() {
-  while (!queue_.empty()) queue_.pop();
+  heap_.clear();
+  slots_.clear();
+  free_slots_.clear();
 }
 
 }  // namespace difane

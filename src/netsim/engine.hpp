@@ -2,14 +2,20 @@
 // timestamp order; ties break by schedule order (FIFO), which makes runs
 // deterministic. This is the testbed substitute: switch processing, link
 // propagation, controller service times are all events.
+//
+// Fast-path layout: handlers are SBO callables (no per-event std::function
+// heap closure) stored in a slab whose slots recycle through a free list,
+// and the priority queue orders 24-byte {when, seq, slot} records instead of
+// sifting whole events. Once the slab and heap reach their high-water marks,
+// steady-state schedule/dispatch performs zero heap allocations for any
+// handler that fits the inline buffer (bench_a3_fastpath gates on this).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/contract.hpp"
+#include "util/inline_fn.hpp"
 
 namespace difane {
 
@@ -17,7 +23,11 @@ using SimTime = double;  // seconds
 
 class Engine {
  public:
-  using Handler = std::function<void()>;
+  // Inline handler storage. Sized for the largest event capture in
+  // core/system.cpp (static_asserted at those call sites); larger handlers
+  // still work via InlineFn's heap fallback, they just allocate.
+  static constexpr std::size_t kInlineHandlerBytes = 256;
+  using Handler = InlineFn<kInlineHandlerBytes>;
 
   // Schedule at absolute time `when` (>= now).
   void at(SimTime when, Handler fn);
@@ -25,8 +35,8 @@ class Engine {
   void after(SimTime delay, Handler fn) { at(now_ + delay, std::move(fn)); }
 
   SimTime now() const { return now_; }
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
 
   // Run until the queue drains, `until` is passed, or `max_events` fire.
@@ -37,19 +47,21 @@ class Engine {
   void clear();
 
  private:
-  struct Event {
+  struct HeapItem {
     SimTime when;
     std::uint64_t seq;
-    Handler fn;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<HeapItem> heap_;  // binary min-heap via std::push_heap/pop_heap
+  std::vector<Handler> slots_;  // handler slab, indexed by HeapItem::slot
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;

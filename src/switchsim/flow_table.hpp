@@ -4,6 +4,19 @@
 // every switch's TCAM. Cache entries carry idle/hard timeouts and LRU-evict
 // when the cache band is full; authority and partition entries are proactive
 // and never expire.
+//
+// Fast-path layout: entries live in a stable slab; each band keeps an
+// ordered index of slab slots plus a RuleId hash map, and the cache band
+// additionally keeps an exact-match hash (full-mask microflow entries, the
+// dominant NOX / kExact case) with a wildcard-only ordered scan as the
+// fallthrough. The band order mirrors the original vector semantics
+// bit-for-bit: inserts land at their rule_before position, same-id refreshes
+// stay where they are (even when the refresh changes the priority), and the
+// winner is always the first live match in band order. Expiry is lazy: a
+// min-expiry watermark skips the per-lookup sweep entirely until some entry
+// can actually have timed out, at which point a full sweep runs — so
+// observable behavior (stats, cascades, LRU order) is byte-identical to
+// sweeping on every lookup.
 #pragma once
 
 #include <cstdint>
@@ -70,11 +83,16 @@ class FlowTable {
   bool remove(RuleId id, Band band);
   void clear_band(Band band);
 
-  // Expire, then find the winning entry: lowest band first, then rule
-  // priority order within the band. A hit updates last_hit and counters.
+  // Find the winning entry: lowest band first, then rule priority order
+  // within the band. A hit updates last_hit and counters. Expired entries
+  // are swept (with identical semantics to an eager per-lookup sweep) before
+  // matching; the sweep is skipped while the expiry watermark proves no
+  // entry can have timed out.
   const FlowEntry* lookup(const BitVec& packet, double now, std::uint64_t bytes = 1);
 
-  // Non-mutating probe (no counter/LRU update, no expiry).
+  // Non-mutating probe (no counter/LRU update, no expiry). Uses the same
+  // live-match selection as lookup, so the two can never disagree on the
+  // winner at a given instant.
   const FlowEntry* peek(const BitVec& packet, double now) const;
 
   // Credit a hit to a specific entry by id (used when the control logic
@@ -84,11 +102,62 @@ class FlowTable {
 
   std::size_t expire(double now);
 
-  std::size_t size(Band band) const { return bands_[index(band)].size(); }
+  std::size_t size(Band band) const { return bands_[index(band)].order.size(); }
   std::size_t total_size() const;
   std::size_t cache_capacity() const { return cache_capacity_; }
-  const std::vector<FlowEntry>& entries(Band band) const { return bands_[index(band)]; }
   const FlowEntry* find(RuleId id, Band band) const;
+
+  // One entry's liveness+match test, shared verbatim by lookup and peek (and
+  // the property suite asserts their agreement): a rule wins iff it has not
+  // timed out and its ternary pattern matches the packet.
+  static bool live_match(const FlowEntry& entry, const BitVec& packet, double now) {
+    return !entry.expired(now) && entry.rule.match.matches(packet);
+  }
+
+  // Read-only view of one band in match order. Iterates the band's slot
+  // index over the entry slab; stable while the table is not mutated.
+  class BandView {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = FlowEntry;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const FlowEntry*;
+      using reference = const FlowEntry&;
+      iterator(const FlowEntry* slab, const std::uint32_t* pos)
+          : slab_(slab), pos_(pos) {}
+      const FlowEntry& operator*() const { return slab_[*pos_]; }
+      const FlowEntry* operator->() const { return &slab_[*pos_]; }
+      iterator& operator++() { ++pos_; return *this; }
+      iterator operator++(int) { iterator old = *this; ++pos_; return old; }
+      friend bool operator==(const iterator& a, const iterator& b) { return a.pos_ == b.pos_; }
+      friend bool operator!=(const iterator& a, const iterator& b) { return a.pos_ != b.pos_; }
+     private:
+      const FlowEntry* slab_;
+      const std::uint32_t* pos_;
+    };
+
+    iterator begin() const { return iterator(slab_, idx_); }
+    iterator end() const { return iterator(slab_, idx_ + count_); }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    const FlowEntry& front() const { return slab_[idx_[0]]; }
+    const FlowEntry& operator[](std::size_t i) const { return slab_[idx_[i]]; }
+
+   private:
+    friend class FlowTable;
+    BandView(const FlowEntry* slab, const std::uint32_t* idx, std::size_t count)
+        : slab_(slab), idx_(idx), count_(count) {}
+    const FlowEntry* slab_;
+    const std::uint32_t* idx_;
+    std::size_t count_;
+  };
+
+  BandView entries(Band band) const {
+    const auto& bs = bands_[index(band)];
+    return BandView(slab_.data(), bs.order.data(), bs.order.size());
+  }
 
   const FlowTableStats& stats() const { return stats_; }
 
@@ -107,7 +176,47 @@ class FlowTable {
   }
 
  private:
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  struct BandState {
+    // Slab slots in band match order: rule_before order on insert, with
+    // same-id refreshes keeping their original position (mirroring the
+    // vector implementation this replaced).
+    std::vector<std::uint32_t> order;
+    std::unordered_map<RuleId, std::uint32_t> by_id;  // rule id -> slab slot
+  };
+
   static std::size_t index(Band band) { return static_cast<std::size_t>(band); }
+  static bool full_mask(const Ternary& match);
+
+  // Earliest instant this entry can expire (+inf when it never does).
+  static double next_expiry(const FlowEntry& e);
+  void note_expiry(const FlowEntry& e);
+  void recompute_watermark();
+
+  std::uint32_t alloc_slot();
+  void release_slot(std::uint32_t slot);
+
+  // Band-order helpers: insert at the rule_before position, erase by the
+  // tracked position, and keep order_pos_ (slot -> index in its band's
+  // order) in sync after every shift.
+  void order_insert(BandState& bs, std::uint32_t slot);
+  void order_erase(BandState& bs, std::uint32_t slot);
+  void refresh_positions(const BandState& bs, std::size_t from);
+
+  // Cache-band accelerators (exact-match chain / wildcard scan list).
+  void link_cache_aux(std::uint32_t slot);
+  void unlink_cache_aux(std::uint32_t slot);
+  void link_guards(std::uint32_t slot);
+  void unlink_guards(std::uint32_t slot);
+
+  // Remove a (already retired) entry from every index of its band.
+  void erase_entry(std::uint32_t slot, Band band);
+
+  // Shared winner selection for lookup/peek: first live match in cache
+  // (exact fast path + wildcard scan), then authority, then partition.
+  const FlowEntry* find_live_match(const BitVec& packet, double now) const;
+
   void evict_lru_cache(double now);
   void retire(const FlowEntry& entry);
   // Safety cascade: when a cache entry leaves (eviction, timeout, delete),
@@ -115,11 +224,33 @@ class FlowTable {
   // protector it would steal packets — and must leave too, recursively.
   // Re-caching on the next miss restores the full group. Without this,
   // cache churn silently breaks the semantics wildcard caching promises.
+  // Keyed by rule id (not by resolved entry), so a dependent installed
+  // before — or surviving beyond — its protector binds to whichever entry
+  // currently carries that id, exactly as the id-based scan did.
   void cascade_remove_dependents(std::vector<RuleId> removed_ids);
 
   std::size_t cache_capacity_;
   std::size_t hw_capacity_;  // shared budget for authority+partition bands
-  std::vector<FlowEntry> bands_[kNumBands];  // each sorted by rule_before
+
+  std::vector<FlowEntry> slab_;            // stable entry storage
+  std::vector<std::uint32_t> exact_next_;  // intrusive per-slot chain for cache_exact_
+  std::vector<std::uint32_t> order_pos_;   // slot -> index in its band's order
+  std::vector<std::uint32_t> free_slots_;
+  BandState bands_[kNumBands];
+
+  // Cache-band fast path: full-mask entries hash by their exact header value
+  // (same-value duplicates chain through exact_next_); everything else sits
+  // in a wildcard-only scan list kept in band order (sorted by order_pos_).
+  std::unordered_map<BitVec, std::uint32_t> cache_exact_;
+  std::vector<std::uint32_t> cache_wild_order_;
+
+  // Reverse guard index: guard rule id -> ids of cache entries listing it.
+  std::unordered_map<RuleId, std::vector<RuleId>> dependents_;
+
+  // Lower bound on the earliest instant any entry can expire; +inf when no
+  // entry carries a timeout. lookup() sweeps only once `now` reaches it.
+  double expiry_watermark_ = std::numeric_limits<double>::infinity();
+
   FlowTableStats stats_;
   std::unordered_map<RuleId, RetiredCounters> retired_;
 };

@@ -1,0 +1,112 @@
+// Small-buffer-optimized move-only callable with signature void(). Callables
+// whose state fits the inline buffer (and is nothrow-move-constructible) are
+// stored in place — construction, relocation, invocation, and destruction
+// never touch the heap. Oversized callables fall back to a single heap
+// allocation, so correctness never depends on the buffer size; performance
+// callers static_assert `fits_inline` on their hottest captures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/contract.hpp"
+
+namespace difane {
+
+template <std::size_t Capacity>
+class InlineFn {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(std::decay_t<F>) <= Capacity &&
+      alignof(std::decay_t<F>) <= kAlign &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): function-like
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<F>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  void operator()() {
+    expects(vt_ != nullptr, "InlineFn: invoking an empty handler");
+    vt_->invoke(buf_);
+  }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* p);
+    // Move-construct the callable at dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* p);
+  };
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable kHeapVTable = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+  };
+
+  void move_from(InlineFn& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(kAlign) unsigned char buf_[Capacity];
+};
+
+}  // namespace difane

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "flowspace/rule_table.hpp"
@@ -47,7 +48,7 @@ class TrafficGenerator {
   std::vector<FlowSpec> generate();
 
   // The distinct headers in the pool (for cache-size reasoning in benches).
-  const std::vector<BitVec>& pool() const { return pool_; }
+  const std::vector<BitVec>& pool() const { return *pool_; }
 
  private:
   void build_pool();
@@ -55,7 +56,9 @@ class TrafficGenerator {
   const RuleTable& policy_;
   TrafficParams params_;
   Rng rng_;
-  std::vector<BitVec> pool_;
+  // Shared so identical pools (same policy + pool parameters + seed) are
+  // built once per process and reused; see the memo cache in trafficgen.cpp.
+  std::shared_ptr<const std::vector<BitVec>> pool_;
 };
 
 }  // namespace difane

@@ -73,6 +73,47 @@ TEST(BitVec, ZeroOnesPopcount) {
   EXPECT_EQ(v.popcount(), 2);
 }
 
+// Per-bit reference implementations of the field accessors. The production
+// versions are masked word operations; any disagreement with the bit loop —
+// including on untouched bits — is a fast-path bug.
+BitVec ref_set_bits(BitVec v, std::size_t offset, std::size_t width,
+                    std::uint64_t value) {
+  for (std::size_t i = 0; i < width; ++i) {
+    v.set(offset + i, (value >> i) & 1ULL);
+  }
+  return v;
+}
+
+std::uint64_t ref_get_bits(const BitVec& v, std::size_t offset, std::size_t width) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    out |= static_cast<std::uint64_t>(v.get(offset + i)) << i;
+  }
+  return out;
+}
+
+TEST(BitVec, FieldOpsMatchBitLoopReference) {
+  Rng rng(77);
+  for (int iter = 0; iter < 20000; ++iter) {
+    BitVec v;
+    for (auto& w : v.w) w = rng.next_u64();
+    const std::size_t width = static_cast<std::size_t>(rng.uniform(1, 64));
+    const std::size_t offset =
+        static_cast<std::size_t>(rng.uniform(0, kHeaderBits - width));
+    const std::uint64_t value = rng.next_u64();
+
+    EXPECT_EQ(v.get_bits(offset, width), ref_get_bits(v, offset, width))
+        << "offset=" << offset << " width=" << width;
+
+    BitVec fast = v;
+    fast.set_bits(offset, width, value);
+    const BitVec ref = ref_set_bits(v, offset, width, value);
+    EXPECT_TRUE(fast == ref) << "offset=" << offset << " width=" << width;
+    EXPECT_EQ(fast.get_bits(offset, width),
+              value & (width == 64 ? ~0ULL : (1ULL << width) - 1ULL));
+  }
+}
+
 TEST(BitVec, HashDistinguishesValues) {
   Rng rng(5);
   std::unordered_set<std::uint64_t> hashes;

@@ -41,6 +41,7 @@ constexpr BenchSpec kBenches[] = {
     {"E10", "bench_e10_classifier"},
     {"A1", "bench_a1_cache_planner"},
     {"A2", "bench_a2_replication"},
+    {"A3", "bench_a3_fastpath"},
 };
 
 struct Options {

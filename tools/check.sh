@@ -2,23 +2,35 @@
 # Full verification sweep: the tier-1 build+test pass, then the same suite
 # plus a short differential fuzz soak under ASan+UBSan (DIFANE_SANITIZE=ON).
 #
-#   tools/check.sh [--quick-bench] [FUZZ_SECONDS]
+#   tools/check.sh [--quick-bench] [--perf] [FUZZ_SECONDS]
 #
 # FUZZ_SECONDS (default 30) bounds the sanitized fuzz_difane run. Both build
 # trees are kept (build/ and build-san/) so incremental re-runs are cheap.
 #
 # --quick-bench additionally runs the whole bench pipeline in --quick mode
-# (bench_all over E1-E10/A1-A2), verifies every report merged into the
+# (bench_all over E1-E10/A1-A3), verifies every report merged into the
 # trajectory file, and re-runs it to confirm the deterministic metrics
 # reproduce byte-for-byte (bench_compare at threshold 0).
+#
+# --perf gates the build against the committed perf baseline
+# (bench/BASELINE.json): one quick bench_all run, then bench_compare with
+# deterministic metrics exact and wall metrics allowed PERF_WALL_THRESHOLD
+# percent of drift (default 50 — generous because baselines travel across
+# hosts; tighten on a pinned CI machine). A counter that moved or a wall
+# metric past the threshold fails the script. After an intentional perf or
+# semantics change, regenerate the baseline from a clean tree with
+#   ./build/tools/bench_all --quick --jobs 1 --out bench/BASELINE.json
+# and commit it together with the change that moved the numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick_bench=0
+perf=0
 fuzz_seconds=30
 for arg in "$@"; do
   case "$arg" in
     --quick-bench) quick_bench=1 ;;
+    --perf) perf=1 ;;
     *) fuzz_seconds="$arg" ;;
   esac
 done
@@ -37,6 +49,15 @@ if [[ "$quick_bench" == 1 ]]; then
     --dir build/bench-reports-2 --out build/BENCH_trajectory_2.json
   ./build/tools/bench_compare build/BENCH_trajectory.json \
     build/BENCH_trajectory_2.json
+fi
+
+if [[ "$perf" == 1 ]]; then
+  echo "== perf: bench_all --quick vs committed baseline =="
+  ./build/tools/bench_all --quick --jobs "$jobs" \
+    --dir build/bench-perf-reports --out build/BENCH_trajectory_perf.json
+  ./build/tools/bench_compare bench/BASELINE.json \
+    build/BENCH_trajectory_perf.json \
+    --wall-threshold "${PERF_WALL_THRESHOLD:-50}"
 fi
 
 echo "== sanitized: ASan+UBSan build + ctest + ${fuzz_seconds}s fuzz =="
