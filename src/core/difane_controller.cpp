@@ -103,6 +103,46 @@ void DifaneController::install_all() {
   install_partition_rules();
 }
 
+std::size_t DifaneController::handle_authority_restart(SwitchId restarted) {
+  AuthorityIndex index = 0;
+  bool found = false;
+  for (AuthorityIndex i = 0; i < authority_switches_.size(); ++i) {
+    if (authority_switches_[i] == restarted) {
+      index = i;
+      found = true;
+      break;
+    }
+  }
+  expects(found, "handle_authority_restart: not an authority switch");
+  expects(!net_.sw(restarted).failed(),
+          "handle_authority_restart: switch still marked failed");
+
+  // Reinstall the authority-band rules for every binding this switch serves
+  // (same serving-set computation as install_authority_rules, restricted to
+  // this switch). install() refreshes in place, so a partially surviving
+  // table is also handled.
+  const auto k = static_cast<AuthorityIndex>(authority_switches_.size());
+  Switch& sw = net_.sw(restarted);
+  std::size_t reinstalled = 0;
+  for (const auto& partition : plan_.partitions()) {
+    bool serves = partition.backup == index;
+    for (std::uint32_t r = 0; !serves && r < params_.replicas; ++r) {
+      serves = (partition.primary + r) % k == index;
+    }
+    if (!serves) continue;
+    for (const auto& rule : partition.rules.rules()) {
+      sw.table().install(rule, Band::kAuthority, net_.engine().now());
+      ++reinstalled;
+    }
+  }
+  // Refresh partition rules everywhere: replica_for sees the switch live
+  // again, and the restarted switch itself gets its partition band back.
+  install_partition_rules();
+  log_info("restart: switch ", restarted, " rejoined, ", reinstalled,
+           " authority rules reinstalled");
+  return reinstalled;
+}
+
 std::size_t DifaneController::handle_authority_failure(SwitchId failed) {
   AuthorityIndex failed_index = 0;
   bool found = false;
@@ -123,7 +163,28 @@ std::size_t DifaneController::handle_authority_failure(SwitchId failed) {
   // Partition rules carry the same ids, so reinstalling refreshes the encap
   // target in place at every live switch.
   install_partition_rules();
-  log_info("failover: re-pointed ", repointed, " partitions away from switch ", failed);
+  // Cached shadow rules (cache-band encap entries) still name the failed
+  // switch — the partition-rule refresh cannot reach them, and until they
+  // expire every packet they cover black-holes at the dead authority. Purge
+  // them; cascade removal takes their dependents along, so those packets
+  // fall back to the (re-pointed) partition band and redirect safely.
+  std::size_t purged = 0;
+  for (SwitchId id = 0; id < net_.switch_count(); ++id) {
+    Switch& sw = net_.sw(id);
+    if (sw.failed()) continue;
+    std::vector<RuleId> stale;
+    for (const auto& entry : sw.table().entries(Band::kCache)) {
+      if (entry.rule.action.type == ActionType::kEncap &&
+          entry.rule.action.arg == failed) {
+        stale.push_back(entry.rule.id);
+      }
+    }
+    for (const auto rule_id : stale) {
+      if (sw.table().remove(rule_id, Band::kCache)) ++purged;
+    }
+  }
+  log_info("failover: re-pointed ", repointed, " partitions away from switch ",
+           failed, ", purged ", purged, " stale cached redirects");
   return repointed;
 }
 

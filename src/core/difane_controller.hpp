@@ -59,6 +59,15 @@ class DifaneController {
   // only at live replicas). Returns the number of partitions re-pointed.
   std::size_t handle_authority_failure(SwitchId failed);
 
+  // React to an authority switch rejoining after a crash: reinstall the
+  // authority rules for every partition binding it serves (a rebooted switch
+  // comes back with an empty TCAM) and refresh partition rules everywhere so
+  // replica selection sees it live again. Partitions failed over while it
+  // was down stay with their current primary — the restarted switch rejoins
+  // as a replica/backup rather than preempting. Returns the number of
+  // authority rules reinstalled at the switch.
+  std::size_t handle_authority_restart(SwitchId restarted);
+
   // The authority switch that ingress `sw` should redirect to for
   // `partition`: a live replica chosen by (switch, partition) hash so load
   // spreads; falls back to the backup when every replica is down.

@@ -66,6 +66,56 @@ void ScenarioParams::validate() const {
   if (timings.ttl_hops == 0) {
     throw ConfigError("timings.ttl_hops", "a zero TTL drops every packet");
   }
+  if (timings.failover_detect < 0.0) {
+    throw ConfigError("timings.failover_detect",
+                      "detection delay cannot be negative");
+  }
+  if (timings.heartbeat_interval < 0.0) {
+    throw ConfigError("timings.heartbeat_interval",
+                      "heartbeat interval cannot be negative");
+  }
+  if (timings.heartbeat_interval > 0.0) {
+    if (timings.heartbeat_miss == 0) {
+      throw ConfigError("timings.heartbeat_miss",
+                        "a zero miss threshold declares every switch dead "
+                        "on the first tick");
+    }
+    if (timings.heartbeat_horizon <= 0.0) {
+      throw ConfigError("timings.heartbeat_horizon",
+                        "heartbeat detection needs a positive horizon or the "
+                        "monitor's tick chain never ends (set it at or past "
+                        "the end of injected traffic)");
+    }
+  }
+  if (reliable_ctrl) {
+    if (timings.ctrl_rto_initial <= 0.0) {
+      throw ConfigError("timings.ctrl_rto_initial",
+                        "retransmission timeout must be > 0");
+    }
+    if (timings.ctrl_rto_backoff < 1.0) {
+      throw ConfigError("timings.ctrl_rto_backoff",
+                        "backoff factor must be >= 1 (shrinking timeouts "
+                        "retransmit faster and faster forever)");
+    }
+    if (timings.ctrl_rto_max < timings.ctrl_rto_initial) {
+      throw ConfigError("timings.ctrl_rto_max",
+                        "backoff cap must be >= the initial timeout");
+    }
+    if (faults.msg_loss >= 1.0) {
+      throw ConfigError("faults.msg_loss",
+                        "reliable delivery with 100% loss retransmits "
+                        "forever; loss must be < 1 when reliable_ctrl is on");
+    }
+  }
+  faults.validate();
+  for (const auto& crash : faults.crashes) {
+    if (mode == Mode::kDifane && crash.authority_index >= authority_count) {
+      throw ConfigError("faults.crashes",
+                        "crash names authority index " +
+                            std::to_string(crash.authority_index) + " but only " +
+                            std::to_string(authority_count) + " exist");
+    }
+  }
 }
 
 Scenario::Scenario(RuleTable policy, ScenarioParams params)
@@ -114,17 +164,107 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
       break;
     }
   }
+  // Fault machinery first, so the channels and agents below can hook into
+  // it. With an inactive plan nothing is built and every construction below
+  // takes its legacy path.
+  if (params_.faults.active()) {
+    injector_ = std::make_unique<FaultInjector>(params_.faults);
+  }
   // Control agents + install channels for every switch. Cache installs (from
   // authority switches or the NOX controller) go through these so they pay
   // propagation latency plus the per-flow-mod apply cost, in order.
+  ControlChannel::Reliability reliability;
+  reliability.enabled = params_.reliable_ctrl;
+  reliability.rto_initial = params_.timings.ctrl_rto_initial;
+  reliability.rto_backoff = params_.timings.ctrl_rto_backoff;
+  reliability.rto_max = params_.timings.ctrl_rto_max;
   for (SwitchId id = 0; id < net_.switch_count(); ++id) {
     agents_.push_back(std::make_unique<SwitchAgent>(net_.engine(), net_.sw(id)));
+    if (injector_ != nullptr) {
+      // Under faults a protector install can be lost or fail, so dependents
+      // must be checked rather than trusted (over-redirect beats
+      // mis-forward); and applies draw from the install-fault budget.
+      agents_.back()->set_strict_guards(true);
+      agents_.back()->set_install_fault_hook(
+          [this]() { return injector_->fail_install(); });
+    }
     const double latency = params_.mode == Mode::kDifane
                                ? params_.timings.cache_install_latency
                                : params_.nox.one_way_latency;
-    install_channels_.push_back(
-        std::make_unique<ControlChannel>(net_.engine(), *agents_.back(), latency));
+    install_channels_.push_back(std::make_unique<ControlChannel>(
+        net_.engine(), *agents_.back(), latency, reliability, injector_.get()));
   }
+  // Heartbeat-based failure detection over the authority switches.
+  if (difane_ != nullptr && params_.timings.heartbeat_interval > 0.0) {
+    HeartbeatParams hp;
+    hp.interval = params_.timings.heartbeat_interval;
+    hp.miss_threshold = params_.timings.heartbeat_miss;
+    hp.horizon = params_.timings.heartbeat_horizon;
+    heartbeat_ = std::make_unique<HeartbeatMonitor>(
+        net_, difane_->authority_switches(), hp, injector_.get());
+    heartbeat_->on_failure([this](SwitchId sw, double) {
+      difane_->handle_authority_failure(sw);
+    });
+    heartbeat_->on_recovery([this](SwitchId sw, double) {
+      difane_->handle_authority_restart(sw);
+    });
+    heartbeat_->start();
+  }
+  schedule_faults();
+}
+
+void Scenario::schedule_faults() {
+  for (const auto& flap : params_.faults.link_flaps) {
+    expects(flap.a < net_.switch_count() && flap.b < net_.switch_count() &&
+                net_.adjacent(flap.a, flap.b),
+            "faults.link_flaps: no such link in the built topology");
+    net_.engine().at(flap.down_at, [this, flap]() {
+      net_.set_link_failed(flap.a, flap.b, true);
+      ++stats_.link_flaps;
+      log_info("link ", flap.a, "-", flap.b, " down at t=", net_.engine().now());
+    });
+    if (flap.up_at >= 0.0) {
+      net_.engine().at(flap.up_at, [this, flap]() {
+        net_.set_link_failed(flap.a, flap.b, false);
+      });
+    }
+  }
+  if (difane_ == nullptr) return;
+  const bool legacy_detect = params_.timings.heartbeat_interval <= 0.0;
+  for (const auto& crash : params_.faults.crashes) {
+    const SwitchId sw = difane_->authority_switch(crash.authority_index);
+    net_.engine().at(crash.at, [this, sw]() { crash_authority(sw); });
+    if (legacy_detect) {
+      net_.engine().at(crash.at + params_.timings.failover_detect,
+                       [this, sw]() { difane_->handle_authority_failure(sw); });
+    }
+    if (crash.restart_at >= 0.0) {
+      net_.engine().at(crash.restart_at, [this, sw]() { restart_authority(sw); });
+      if (legacy_detect) {
+        net_.engine().at(crash.restart_at + params_.timings.failover_detect,
+                         [this, sw]() { difane_->handle_authority_restart(sw); });
+      }
+    }
+  }
+}
+
+void Scenario::crash_authority(SwitchId sw) {
+  net_.set_failed(sw, true);
+  // A crash loses the switch's installed state — it reboots with an empty
+  // TCAM. (Distinct from schedule_authority_failure, which models a
+  // fail-stop partition where the state is merely unreachable.)
+  FlowTable& table = net_.sw(sw).table();
+  table.clear_band(Band::kCache);
+  table.clear_band(Band::kAuthority);
+  table.clear_band(Band::kPartition);
+  ++stats_.authority_crashes;
+  log_info("authority switch ", sw, " crashed at t=", net_.engine().now());
+}
+
+void Scenario::restart_authority(SwitchId sw) {
+  net_.set_failed(sw, false);
+  ++stats_.authority_restarts;
+  log_info("authority switch ", sw, " restarted at t=", net_.engine().now());
 }
 
 obs::MetricsReport ScenarioStats::snapshot(const std::string& experiment) const {
@@ -169,6 +309,25 @@ obs::MetricsReport ScenarioStats::snapshot(const std::string& experiment) const 
   }
   report.set("setup_completions", static_cast<double>(setup_completions.total()));
   report.set("setup_rate_per_s", setup_completions.rate());
+  // Fault / robustness counters (all zero on a fault-free legacy-channel
+  // run; emitted unconditionally so the report schema is run-independent).
+  report.set("ctrl_transmissions", static_cast<double>(ctrl_transmissions));
+  report.set("ctrl_retransmits", static_cast<double>(ctrl_retransmits));
+  report.set("ctrl_acks", static_cast<double>(ctrl_acks));
+  report.set("ctrl_dup_requests", static_cast<double>(ctrl_dup_requests));
+  report.set("ctrl_reordered", static_cast<double>(ctrl_reordered));
+  report.set("msgs_lost", static_cast<double>(msgs_lost));
+  report.set("msgs_duplicated", static_cast<double>(msgs_duplicated));
+  report.set("msgs_jittered", static_cast<double>(msgs_jittered));
+  report.set("install_faults", static_cast<double>(install_faults));
+  report.set("guard_rejects", static_cast<double>(guard_rejects));
+  report.set("heartbeats_heard", static_cast<double>(heartbeats_heard));
+  report.set("heartbeats_missed", static_cast<double>(heartbeats_missed));
+  report.set("failovers_detected", static_cast<double>(failovers_detected));
+  report.set("recoveries_detected", static_cast<double>(recoveries_detected));
+  report.set("link_flaps", static_cast<double>(link_flaps));
+  report.set("authority_crashes", static_cast<double>(authority_crashes));
+  report.set("authority_restarts", static_cast<double>(authority_restarts));
   return report;
 }
 
@@ -186,7 +345,58 @@ const ScenarioStats& Scenario::run(const std::vector<FlowSpec>& flows) {
   net_.engine().run();
   ensures(stats_.tracer.in_flight() == 0,
           "Scenario: packets unaccounted for after the run");
+  collect_fault_stats();
   return stats_;
+}
+
+void Scenario::collect_fault_stats() {
+  stats_.ctrl_transmissions = 0;
+  stats_.ctrl_retransmits = 0;
+  stats_.ctrl_acks = 0;
+  stats_.ctrl_dup_requests = 0;
+  stats_.ctrl_reordered = 0;
+  for (const auto& channel : install_channels_) {
+    stats_.ctrl_transmissions += channel->transmissions();
+    stats_.ctrl_retransmits += channel->retransmits();
+    stats_.ctrl_acks += channel->acks();
+    stats_.ctrl_dup_requests += channel->dup_requests();
+    stats_.ctrl_reordered += channel->reordered();
+  }
+  stats_.install_faults = 0;
+  stats_.guard_rejects = 0;
+  for (const auto& agent : agents_) {
+    stats_.install_faults += agent->install_faults();
+    stats_.guard_rejects += agent->guard_rejects();
+  }
+  if (injector_ != nullptr) {
+    const auto& c = injector_->counters();
+    stats_.msgs_lost = c.msgs_lost;
+    stats_.msgs_duplicated = c.msgs_duplicated;
+    stats_.msgs_jittered = c.msgs_jittered;
+  }
+  if (heartbeat_ != nullptr) {
+    stats_.heartbeats_heard = heartbeat_->beats_heard();
+    stats_.heartbeats_missed = heartbeat_->beats_missed();
+    stats_.failovers_detected = heartbeat_->failures_declared();
+    stats_.recoveries_detected = heartbeat_->recoveries_declared();
+  }
+  // The per-channel totals are cumulative across runs of this scenario, so
+  // only the delta since the previous collection reaches the global registry.
+  obs_retransmits_->inc(stats_.ctrl_retransmits - obs_reported_.retransmits);
+  obs_msgs_lost_->inc(stats_.msgs_lost - obs_reported_.msgs_lost);
+  obs_failovers_->inc(stats_.failovers_detected - obs_reported_.failovers);
+  obs_reported_ = {stats_.ctrl_retransmits, stats_.msgs_lost,
+                   stats_.failovers_detected};
+}
+
+VerifyReport Scenario::verify_installed(std::size_t samples_per_ingress,
+                                        std::uint64_t seed) {
+  expects(difane_ != nullptr, "verify_installed: DIFANE mode only");
+  VerifierParams vp;
+  vp.samples_per_ingress = samples_per_ingress;
+  vp.seed = seed;
+  vp.now = net_.engine().now();
+  return verify_installed_state(net_, *difane_, policy_, topo_.edge, vp);
 }
 
 void Scenario::inject(const FlowSpec& flow) {
@@ -446,6 +656,12 @@ void Scenario::forward_hop(SwitchId at, SwitchId toward, Packet pkt) {
   }
   Link* link = net_.link(at, nh);
   ensures(link != nullptr, "forward_hop: next hop without a link");
+  if (!link->up()) {
+    // Raced a link flap: routes recompute around a downed link, but a packet
+    // already committed to this hop has nowhere to go.
+    dispose(pkt, false, DropReason::kUnreachable);
+    return;
+  }
   const double now = net_.engine().now();
   const double delivery = link->send(now, pkt.bytes) + params_.timings.switch_proc;
   pkt.hops += 1;
@@ -461,9 +677,13 @@ void Scenario::schedule_authority_failure(SimTime when, SwitchId authority) {
     net_.set_failed(authority, true);
     log_info("authority switch ", authority, " failed at t=", net_.engine().now());
   });
-  net_.engine().at(when + params_.timings.failover_detect, [this, authority]() {
-    difane_->handle_authority_failure(authority);
-  });
+  // With heartbeat detection on, the monitor notices the silence itself;
+  // the fixed-delay oracle below is the legacy path.
+  if (params_.timings.heartbeat_interval <= 0.0) {
+    net_.engine().at(when + params_.timings.failover_detect, [this, authority]() {
+      difane_->handle_authority_failure(authority);
+    });
+  }
 }
 
 }  // namespace difane

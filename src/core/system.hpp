@@ -12,7 +12,11 @@
 
 #include "controller/nox.hpp"
 #include "core/difane_controller.hpp"
+#include "core/verifier.hpp"
 #include "ctrlchan/channel.hpp"
+#include "faults/heartbeat.hpp"
+#include "faults/injector.hpp"
+#include "faults/plan.hpp"
 #include "netsim/tracer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -37,8 +41,28 @@ struct Timings {
   double authority_backlog_max = 0.01;   // redirects dropped past this backlog
   double cache_install_latency = 2e-4;   // authority -> ingress install push
   double cache_idle_timeout = 10.0;      // cache-band idle timeout
-  double failover_detect = 0.2;          // failure detection + re-point delay
+  // Fixed-delay failure detection: the controller re-points partitions this
+  // long after a scheduled failure. Used only while heartbeat detection is
+  // off (heartbeat_interval == 0), which is the default.
+  double failover_detect = 0.2;
   std::uint32_t ttl_hops = 64;
+
+  // Heartbeat-based failure detection (DIFANE mode). interval > 0 switches
+  // the failover path from the fixed failover_detect delay to a
+  // HeartbeatMonitor over the authority switches: a switch is declared down
+  // after heartbeat_miss consecutive missing beats and recovered on the
+  // first beat heard again. heartbeat_horizon bounds the monitor's tick
+  // chain so the engine's queue drains; set it at or past the end of
+  // injected traffic.
+  double heartbeat_interval = 0.0;  // 0 => legacy fixed-delay detection
+  std::uint32_t heartbeat_miss = 3;
+  double heartbeat_horizon = 0.0;
+
+  // Reliable control-channel retransmission (see ControlChannel::Reliability;
+  // consulted only when ScenarioParams::reliable_ctrl is set).
+  double ctrl_rto_initial = 2e-3;
+  double ctrl_rto_backoff = 2.0;
+  double ctrl_rto_max = 0.1;
 };
 
 struct ScenarioParams {
@@ -65,6 +89,19 @@ struct ScenarioParams {
   // per packet; for debugging and the transparency tests.
   bool verify_cache_hits = false;
 
+  // Reliable delivery on every control channel: sequence numbers, acks,
+  // timeout + capped exponential backoff retransmission, duplicate
+  // suppression and in-order apply at the switch agent. Required for
+  // transparency under message faults; off by default (the clean wire needs
+  // none of it and the baseline is calibrated against the legacy path).
+  bool reliable_ctrl = false;
+
+  // What goes wrong during the run (default: nothing). An active plan also
+  // arms strict guard checking and the install-fault hook on every switch
+  // agent. Replayable by (faults.seed, plan): rebuilding the scenario with
+  // identical params reproduces a byte-identical report.
+  FaultPlan faults;
+
   // Reject mis-wired parameter combinations before any topology or control
   // plane is built. Throws difane::ConfigError naming the offending field.
   // The Scenario constructor calls this; call it yourself to fail fast when
@@ -83,6 +120,27 @@ struct ScenarioStats {
   std::uint64_t cache_hit_mismatches = 0; // verify_cache_hits violations
   SampleSet stretch;                      // delivered first packets: hops / shortest
   RateMeter setup_completions;            // first-packet dispositions per second
+
+  // Fault / robustness accounting, aggregated from the channels, the fault
+  // injector, and the heartbeat monitor at the end of a run. All zero when
+  // the run was fault-free with legacy channels.
+  std::uint64_t ctrl_transmissions = 0;   // channel transmissions incl. rexmit
+  std::uint64_t ctrl_retransmits = 0;
+  std::uint64_t ctrl_acks = 0;
+  std::uint64_t ctrl_dup_requests = 0;    // duplicates the receivers suppressed
+  std::uint64_t ctrl_reordered = 0;       // arrivals buffered for in-order apply
+  std::uint64_t msgs_lost = 0;            // transmissions the injector dropped
+  std::uint64_t msgs_duplicated = 0;
+  std::uint64_t msgs_jittered = 0;
+  std::uint64_t install_faults = 0;       // FlowMod applies failed by injection
+  std::uint64_t guard_rejects = 0;        // strict-guard install rejections
+  std::uint64_t heartbeats_heard = 0;
+  std::uint64_t heartbeats_missed = 0;
+  std::uint64_t failovers_detected = 0;   // heartbeat failure declarations
+  std::uint64_t recoveries_detected = 0;
+  std::uint64_t link_flaps = 0;           // link-down events executed
+  std::uint64_t authority_crashes = 0;
+  std::uint64_t authority_restarts = 0;
   double cache_hit_fraction() const {
     const auto total = ingress_cache_hits + ingress_local_hits + redirects;
     return total ? static_cast<double>(ingress_cache_hits + ingress_local_hits) /
@@ -107,8 +165,16 @@ class Scenario {
   const ScenarioStats& run(const std::vector<FlowSpec>& flows);
 
   // Schedule an authority switch failure at sim time `when` (DIFANE mode).
-  // The controller re-points partitions `failover_detect` later.
+  // With heartbeat detection off, the controller re-points partitions
+  // `failover_detect` later; with it on, the monitor detects the silence.
   void schedule_authority_failure(SimTime when, SwitchId authority);
+
+  // Post-recovery sweep over the *actual* switch tables at the engine's
+  // current clock: black holes, loops, dangling redirects, wrong actions.
+  // Call after run() — a chaos run only counts as converged when this is
+  // clean. DIFANE mode only.
+  VerifyReport verify_installed(std::size_t samples_per_ingress = 200,
+                                std::uint64_t seed = 1);
 
   Network& net() { return net_; }
   const RuleTable& policy() const { return policy_; }
@@ -132,6 +198,10 @@ class Scenario {
   std::vector<FlowStatsEntry> query_flow_stats() const;
 
  private:
+  void schedule_faults();
+  void crash_authority(SwitchId sw);
+  void restart_authority(SwitchId sw);
+  void collect_fault_stats();
   void inject(const FlowSpec& flow);
   void process(SwitchId at, Packet pkt);
   void handle_authority(SwitchId at, Packet pkt);
@@ -153,6 +223,11 @@ class Scenario {
   // propagation latency plus the switch's flow-mod apply cost, in order.
   std::vector<std::unique_ptr<SwitchAgent>> agents_;
   std::vector<std::unique_ptr<ControlChannel>> install_channels_;
+  // Fault machinery, present only when params_.faults.active() or heartbeat
+  // detection is on; nullptr otherwise so the fault-free path stays exactly
+  // the legacy one.
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<HeartbeatMonitor> heartbeat_;
   ScenarioStats stats_;
   // Process-wide observability hooks, resolved once here so the per-packet
   // cost is a single relaxed atomic increment (nothing at all when built
@@ -163,6 +238,20 @@ class Scenario {
       obs::MetricsRegistry::global().counter("scenario_authority_handled");
   obs::Counter* obs_installs_ =
       obs::MetricsRegistry::global().counter("scenario_cache_installs");
+  // Fault-path counters, bumped once per run from the per-channel totals so
+  // process-wide dashboards see retransmission and failover activity without
+  // touching the hot path.
+  obs::Counter* obs_retransmits_ =
+      obs::MetricsRegistry::global().counter("scenario_ctrl_retransmits");
+  obs::Counter* obs_msgs_lost_ =
+      obs::MetricsRegistry::global().counter("scenario_ctrl_msgs_lost");
+  obs::Counter* obs_failovers_ =
+      obs::MetricsRegistry::global().counter("scenario_failovers_detected");
+  struct {
+    std::uint64_t retransmits = 0;
+    std::uint64_t msgs_lost = 0;
+    std::uint64_t failovers = 0;
+  } obs_reported_;
 };
 
 }  // namespace difane

@@ -49,7 +49,7 @@ struct Walker {
         *detail = "hop budget exhausted (redirect cycle?)";
         return VerifyOutcome::kLoop;
       }
-      const FlowEntry* entry = net.sw(at).table().peek(packet, /*now=*/0.0);
+      const FlowEntry* entry = net.sw(at).table().peek(packet, params.now);
       if (entry == nullptr) {
         *detail = "no rule matched at switch " + std::to_string(at);
         return VerifyOutcome::kBlackHole;
@@ -58,6 +58,10 @@ struct Walker {
       switch (action.type) {
         case ActionType::kEncap: {
           const SwitchId target = action.arg;
+          if (net.sw(target).failed()) {
+            *detail = "redirect to failed switch " + std::to_string(target);
+            return VerifyOutcome::kDanglingRedirect;
+          }
           if (net.next_hop(at, target) == kInvalidSwitch && at != target) {
             *detail = "no route from " + std::to_string(at) + " to authority " +
                       std::to_string(target);

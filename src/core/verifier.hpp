@@ -47,6 +47,10 @@ struct VerifierParams {
   std::size_t max_violations = 16;
   std::size_t hop_budget = 32;
   std::uint64_t seed = 1;
+  // The instant the tables are inspected at: entries expired by `now` do not
+  // match (exactly as the data plane would treat them). Pass the engine's
+  // clock for a post-run sweep; 0.0 checks the freshly installed state.
+  double now = 0.0;
 };
 
 // Statically verify the installed state of `net` (as set up by `controller`)

@@ -38,10 +38,27 @@ void SwitchAgent::apply(const Request& request, const ReplyHandler& on_reply) {
           bool ok = false;
           switch (msg.op) {
             case FlowModOp::kAdd:
-            case FlowModOp::kModify:
-              ok = switch_.table().install(msg.rule, msg.band, now, msg.idle_timeout,
-                                           msg.hard_timeout, msg.guards);
+            case FlowModOp::kModify: {
+              bool guards_ok = true;
+              if (strict_guards_ && msg.band == Band::kCache) {
+                for (const RuleId g : msg.guards) {
+                  if (switch_.table().find(g, Band::kCache) == nullptr) {
+                    guards_ok = false;
+                    break;
+                  }
+                }
+              }
+              if (!guards_ok) {
+                ++guard_rejects_;
+              } else if (install_fault_ && install_fault_()) {
+                ++install_faults_;
+              } else {
+                ok = switch_.table().install(msg.rule, msg.band, now,
+                                             msg.idle_timeout, msg.hard_timeout,
+                                             msg.guards);
+              }
               break;
+            }
             case FlowModOp::kDelete:
               ok = switch_.table().remove(msg.rule.id, msg.band);
               break;
@@ -49,6 +66,9 @@ void SwitchAgent::apply(const Request& request, const ReplyHandler& on_reply) {
           if (on_reply) on_reply(FlowModReply{msg.xid, ok});
         } else if constexpr (std::is_same_v<T, PacketOut>) {
           if (packet_out_) packet_out_(msg);
+          // Confirm application when asked: a reliable channel needs every
+          // request type to produce an ack-carrying reply.
+          if (on_reply) on_reply(BarrierReply{msg.xid});
         } else if constexpr (std::is_same_v<T, BarrierRequest>) {
           // All earlier messages were applied before this event fired (the
           // pipeline cursor serialized them), so the barrier holds.

@@ -38,8 +38,27 @@ class SwitchAgent {
     packet_out_ = std::move(handler);
   }
 
+  // Fault hook: invoked per FlowMod add/modify; returning true makes the
+  // install fail at the switch (the reply still flows, ok = false). Models a
+  // TCAM write error / partial install under the fault-injection layer.
+  using InstallFaultHook = std::function<bool()>;
+  void set_install_fault_hook(InstallFaultHook hook) {
+    install_fault_ = std::move(hook);
+  }
+
+  // Strict guard checking: reject a cache-band add whose guard (protector)
+  // entries are not all present. With an exactly-once in-order channel the
+  // protectors-first install order makes this vacuous, but under message
+  // loss or install faults a dependent could land without its protector and
+  // steal packets it must not own. Rejecting it keeps partial group installs
+  // safe: the flow over-redirects (always correct) instead of mis-forwarding.
+  // Off by default so the fault-free baseline stays byte-identical.
+  void set_strict_guards(bool strict) { strict_guards_ = strict; }
+
   Switch& attached_switch() { return switch_; }
   std::uint64_t applied() const { return applied_; }
+  std::uint64_t install_faults() const { return install_faults_; }
+  std::uint64_t guard_rejects() const { return guard_rejects_; }
 
  private:
   double admit(double cost);
@@ -49,8 +68,12 @@ class SwitchAgent {
   Switch& switch_;
   SwitchAgentParams params_;
   PacketOutHandler packet_out_;
+  InstallFaultHook install_fault_;
+  bool strict_guards_ = false;
   double next_free_ = 0.0;  // serialization of the agent's control pipeline
   std::uint64_t applied_ = 0;
+  std::uint64_t install_faults_ = 0;
+  std::uint64_t guard_rejects_ = 0;
 };
 
 // Aggregate counters per origin rule across one switch's whole table.

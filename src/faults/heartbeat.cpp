@@ -1,0 +1,53 @@
+#include "faults/heartbeat.hpp"
+
+#include "util/contract.hpp"
+
+namespace difane {
+
+HeartbeatMonitor::HeartbeatMonitor(Network& net, std::vector<SwitchId> watched,
+                                   HeartbeatParams params, FaultInjector* injector)
+    : net_(net), params_(params), injector_(injector) {
+  expects(params_.interval > 0.0, "HeartbeatMonitor: interval must be > 0");
+  expects(params_.miss_threshold >= 1, "HeartbeatMonitor: need a miss threshold");
+  expects(params_.horizon > 0.0, "HeartbeatMonitor: need a horizon");
+  for (const SwitchId sw : watched) watched_.push_back(WatchState{sw, 0, false});
+}
+
+void HeartbeatMonitor::start() {
+  if (params_.interval <= params_.horizon) {
+    net_.engine().after(params_.interval, [this]() { tick(); });
+  }
+}
+
+void HeartbeatMonitor::tick() {
+  const double now = net_.engine().now();
+  for (auto& w : watched_) {
+    // A failed switch emits nothing; a live switch's beat can still be lost
+    // on the control wire.
+    const bool beat_arrived =
+        !net_.sw(w.sw).failed() &&
+        (injector_ == nullptr || !injector_->heartbeat_lost());
+    if (beat_arrived) {
+      ++beats_heard_;
+      w.consecutive_misses = 0;
+      if (w.declared_down) {
+        w.declared_down = false;
+        ++recoveries_declared_;
+        if (on_recovery_) on_recovery_(w.sw, now);
+      }
+    } else {
+      ++beats_missed_;
+      ++w.consecutive_misses;
+      if (!w.declared_down && w.consecutive_misses >= params_.miss_threshold) {
+        w.declared_down = true;
+        ++failures_declared_;
+        if (on_failure_) on_failure_(w.sw, now);
+      }
+    }
+  }
+  if (now + params_.interval <= params_.horizon) {
+    net_.engine().after(params_.interval, [this]() { tick(); });
+  }
+}
+
+}  // namespace difane

@@ -1,0 +1,71 @@
+// Heartbeat-based failure detection. Each watched switch emits a beat every
+// `interval` seconds (beats traverse the control network, so the
+// FaultInjector may drop them); the monitor declares a switch down after
+// `miss_threshold` consecutive missing beats and declares recovery on the
+// first beat heard from a switch it considered down. This replaces the
+// hardcoded failover_detect oracle: detection latency becomes an emergent
+// property of interval x threshold x beat loss, exactly the trade-off a real
+// deployment tunes.
+//
+// The monitor stops scheduling ticks past `horizon` so the engine's event
+// queue can drain (Scenario::run runs until the queue is empty); pick a
+// horizon at or past the end of injected traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "faults/injector.hpp"
+#include "netsim/topology.hpp"
+
+namespace difane {
+
+struct HeartbeatParams {
+  double interval = 0.05;         // seconds between beats
+  std::uint32_t miss_threshold = 3;  // consecutive misses => declare failure
+  double horizon = 0.0;           // no ticks scheduled past this sim time
+};
+
+class HeartbeatMonitor {
+ public:
+  // `when` is the detection instant (the tick that crossed the threshold or
+  // heard the reviving beat).
+  using Callback = std::function<void(SwitchId sw, double when)>;
+
+  HeartbeatMonitor(Network& net, std::vector<SwitchId> watched,
+                   HeartbeatParams params, FaultInjector* injector = nullptr);
+
+  void on_failure(Callback cb) { on_failure_ = std::move(cb); }
+  void on_recovery(Callback cb) { on_recovery_ = std::move(cb); }
+
+  // Schedule the periodic tick chain. Call once, after the callbacks are set.
+  void start();
+
+  std::uint64_t beats_heard() const { return beats_heard_; }
+  std::uint64_t beats_missed() const { return beats_missed_; }
+  std::uint64_t failures_declared() const { return failures_declared_; }
+  std::uint64_t recoveries_declared() const { return recoveries_declared_; }
+
+ private:
+  void tick();
+
+  struct WatchState {
+    SwitchId sw = kInvalidSwitch;
+    std::uint32_t consecutive_misses = 0;
+    bool declared_down = false;
+  };
+
+  Network& net_;
+  HeartbeatParams params_;
+  FaultInjector* injector_;
+  std::vector<WatchState> watched_;
+  Callback on_failure_;
+  Callback on_recovery_;
+  std::uint64_t beats_heard_ = 0;
+  std::uint64_t beats_missed_ = 0;
+  std::uint64_t failures_declared_ = 0;
+  std::uint64_t recoveries_declared_ = 0;
+};
+
+}  // namespace difane

@@ -1,0 +1,74 @@
+#include "faults/plan.hpp"
+
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace difane {
+
+bool FaultPlan::active() const {
+  return msg_loss > 0.0 || msg_dup > 0.0 ||
+         (msg_jitter_prob > 0.0 && msg_jitter_max > 0.0) || install_fail > 0.0 ||
+         !link_flaps.empty() || !crashes.empty();
+}
+
+namespace {
+
+void check_probability(const char* field, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw ConfigError(std::string("faults.") + field,
+                      "probability must be in [0, 1], got " + std::to_string(p));
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_probability("msg_loss", msg_loss);
+  check_probability("msg_dup", msg_dup);
+  check_probability("msg_jitter_prob", msg_jitter_prob);
+  check_probability("install_fail", install_fail);
+  if (msg_jitter_max < 0.0) {
+    throw ConfigError("faults.msg_jitter_max", "jitter bound must be >= 0");
+  }
+  for (const auto& flap : link_flaps) {
+    if (flap.a == flap.b) {
+      throw ConfigError("faults.link_flaps", "a link needs distinct endpoints");
+    }
+    if (flap.down_at < 0.0) {
+      throw ConfigError("faults.link_flaps", "down_at must be >= 0");
+    }
+    if (flap.up_at >= 0.0 && flap.up_at <= flap.down_at) {
+      throw ConfigError("faults.link_flaps",
+                        "up_at must come strictly after down_at");
+    }
+  }
+  for (const auto& crash : crashes) {
+    if (crash.at < 0.0) {
+      throw ConfigError("faults.crashes", "crash time must be >= 0");
+    }
+    if (crash.restart_at >= 0.0 && crash.restart_at <= crash.at) {
+      throw ConfigError("faults.crashes",
+                        "restart_at must come strictly after the crash");
+    }
+  }
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "FaultPlan{seed=" << seed << " loss=" << msg_loss << " dup=" << msg_dup
+     << " jitter=" << msg_jitter_prob << "x" << msg_jitter_max
+     << " install_fail=" << install_fail;
+  for (const auto& f : link_flaps) {
+    os << " flap(" << f.a << "-" << f.b << " @" << f.down_at << ".." << f.up_at
+       << ")";
+  }
+  for (const auto& c : crashes) {
+    os << " crash(a" << c.authority_index << " @" << c.at << " restart "
+       << c.restart_at << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace difane

@@ -34,12 +34,18 @@ class Link {
   // Queueing backlog at `now` in seconds of serialization time.
   SimTime backlog(SimTime now) const { return next_free_ > now ? next_free_ - now : 0.0; }
 
+  // Administrative / fault state. A down link carries nothing; routing skips
+  // it and the forwarding path drops packets that race a flap.
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
  private:
   SimTime latency_;
   double rate_bps_;
   SimTime next_free_ = 0.0;
   std::uint64_t packets_ = 0;
   std::uint64_t bytes_ = 0;
+  bool up_ = true;
 };
 
 }  // namespace difane

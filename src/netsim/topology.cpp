@@ -49,6 +49,16 @@ void Network::set_failed(SwitchId id, bool failed) {
   routes_valid_ = false;
 }
 
+void Network::set_link_failed(SwitchId a, SwitchId b, bool down) {
+  const auto forward = links_.find({a, b});
+  const auto backward = links_.find({b, a});
+  expects(forward != links_.end() && backward != links_.end(),
+          "set_link_failed: no such link");
+  forward->second->set_up(!down);
+  backward->second->set_up(!down);
+  routes_valid_ = false;
+}
+
 void Network::recompute_routes() {
   const std::size_t n = switches_.size();
   const auto unreachable = std::numeric_limits<std::size_t>::max();
@@ -71,6 +81,10 @@ void Network::recompute_routes() {
         if (neighbor >= n) continue;
         // Intermediate hops must be alive; `at` was checked on entry.
         if (switches_[neighbor]->failed()) continue;
+        // The step recorded below uses the (neighbor, at) link; a downed
+        // link carries nothing in either direction.
+        const auto link_it = links_.find({neighbor, at});
+        if (link_it == links_.end() || !link_it->second->up()) continue;
         if (dst[neighbor] != unreachable) continue;
         dst[neighbor] = dst[at] + 1;
         nxt[neighbor] = at;  // from `neighbor`, step to `at` toward `to`

@@ -47,6 +47,10 @@ class Network {
 
   void set_failed(SwitchId id, bool failed);
 
+  // Take the (a, b) link down or bring it back up — both directions, as a
+  // cable cut would. Routes recompute lazily around it.
+  void set_link_failed(SwitchId a, SwitchId b, bool down);
+
   void invalidate_routes() { routes_valid_ = false; }
 
  private:

@@ -63,8 +63,14 @@ Violation check_classifier_agreement(const Counterexample& cex,
   return std::nullopt;
 }
 
-Violation check_nox_vs_difane(const Counterexample& cex, const TopoGen& topo,
-                              CacheStrategy strategy, double cache_idle_timeout) {
+namespace {
+
+// Shared body for the clean and faulty transparency oracles. `difane_faults`
+// (nullable) applies only to the DIFANE side, together with reliable control
+// channels; the NOX oracle always runs on the clean wire.
+Violation nox_vs_difane_impl(const Counterexample& cex, const TopoGen& topo,
+                             CacheStrategy strategy, double cache_idle_timeout,
+                             const FaultPlan* difane_faults) {
   const RuleTable policy = cex.table();
   const auto flows = flows_from_packets(
       cex.packets, static_cast<std::uint32_t>(topo.edge_switches));
@@ -81,10 +87,16 @@ Violation check_nox_vs_difane(const Counterexample& cex, const TopoGen& topo,
   params.verify_cache_hits = true;
 
   params.mode = Mode::kDifane;
+  if (difane_faults != nullptr) {
+    params.reliable_ctrl = true;
+    params.faults = *difane_faults;
+  }
   Scenario difane(policy, params);
   const auto& ds = difane.run(flows);
 
   params.mode = Mode::kNox;
+  params.reliable_ctrl = false;
+  params.faults = FaultPlan{};
   Scenario nox(policy, params);
   const auto& ns = nox.run(flows);
 
@@ -158,6 +170,21 @@ Violation check_nox_vs_difane(const Counterexample& cex, const TopoGen& topo,
     }
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+Violation check_nox_vs_difane(const Counterexample& cex, const TopoGen& topo,
+                              CacheStrategy strategy, double cache_idle_timeout) {
+  return nox_vs_difane_impl(cex, topo, strategy, cache_idle_timeout, nullptr);
+}
+
+Violation check_nox_vs_difane_faulty(const Counterexample& cex, const TopoGen& topo,
+                                     CacheStrategy strategy,
+                                     double cache_idle_timeout,
+                                     const FaultPlan& difane_faults) {
+  return nox_vs_difane_impl(cex, topo, strategy, cache_idle_timeout,
+                            &difane_faults);
 }
 
 Violation check_partition(const Counterexample& cex, const PartitionerParams& params,

@@ -13,6 +13,7 @@
 
 #include "classifier/dtree.hpp"
 #include "core/cache.hpp"
+#include "faults/plan.hpp"
 #include "partition/partitioner.hpp"
 #include "proptest/gen.hpp"
 #include "proptest/shrink.hpp"
@@ -34,6 +35,19 @@ Violation check_classifier_agreement(const Counterexample& cex,
 // capacity reasons, and the generators keep rates far below capacity.
 Violation check_nox_vs_difane(const Counterexample& cex, const TopoGen& topo,
                               CacheStrategy strategy, double cache_idle_timeout);
+
+// (2b) Transparency under message faults: the DIFANE side runs with reliable
+// control channels and `difane_faults` perturbing every control transmission
+// (loss, duplication, jitter, failed installs — no crashes or flaps); the
+// NOX side stays on the clean wire as the oracle. With loss < 1 the reliable
+// channel delivers every install eventually, so delivered-packet
+// dispositions and per-policy-rule counters must match the fault-free
+// baseline exactly — faults may change *when* caches fill, never *what*
+// happens to a packet.
+Violation check_nox_vs_difane_faulty(const Counterexample& cex, const TopoGen& topo,
+                                     CacheStrategy strategy,
+                                     double cache_idle_timeout,
+                                     const FaultPlan& difane_faults);
 
 // (3) Partitioner post-conditions for any CutStrategy: regions disjoint and
 // complete, every policy rule reachable through some partition, per-packet

@@ -234,5 +234,214 @@ TEST(ControlChannel, PreservesSendOrder) {
   EXPECT_EQ(f.sw.table().size(Band::kCache), 5u);
 }
 
+// --- Reliable-delivery state machine -------------------------------------
+//
+// ScriptedFaults drives the channel's ChannelFaults hook from a fixed script:
+// one entry per transmission in draw order (initial sends, retransmissions,
+// and acks all draw, in engine-event order). An empty entry loses that copy,
+// extra latencies jitter it, and entries past the end deliver cleanly.
+
+struct ScriptedFaults : ChannelFaults {
+  std::vector<std::vector<double>> script;
+  std::size_t cursor = 0;
+  explicit ScriptedFaults(std::vector<std::vector<double>> s)
+      : script(std::move(s)) {}
+  void transmit(std::vector<double>& deliveries) override {
+    if (cursor >= script.size()) return;  // clean from here on
+    deliveries = script[cursor++];
+  }
+};
+
+const std::vector<double> kLose{};
+const std::vector<double> kClean{0.0};
+
+ControlChannel::Reliability reliable(double rto_initial = 4e-3,
+                                     double rto_max = 0.1) {
+  ControlChannel::Reliability r;
+  r.enabled = true;
+  r.rto_initial = rto_initial;
+  r.rto_backoff = 2.0;
+  r.rto_max = rto_max;
+  return r;
+}
+
+TEST(ControlChannel, ReliableCleanWireNoRetransmits) {
+  Fixture f;
+  ControlChannel channel(f.engine, f.agent, 0.001, reliable());
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    FlowMod mod;
+    mod.rule = rule_of(static_cast<RuleId>(i + 1), 10);
+    channel.send(mod, [&order, i](const Reply&) { order.push_back(i); });
+  }
+  f.engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(channel.sent(), 3u);
+  EXPECT_EQ(channel.transmissions(), 3u);
+  EXPECT_EQ(channel.retransmits(), 0u);
+  EXPECT_EQ(channel.acks(), 3u);
+  EXPECT_EQ(channel.dup_requests(), 0u);
+  EXPECT_EQ(f.sw.table().size(Band::kCache), 3u);
+}
+
+TEST(ControlChannel, RequestLossIsRetransmitted) {
+  Fixture f;
+  ScriptedFaults faults({kLose});  // first copy vanishes; everything after is clean
+  ControlChannel channel(f.engine, f.agent, 0.001, reliable(), &faults);
+  int replies = 0;
+  FlowMod mod;
+  mod.rule = rule_of(1, 10);
+  channel.send(mod, [&](const Reply&) { ++replies; });
+  f.engine.run();
+  EXPECT_EQ(replies, 1);
+  EXPECT_EQ(channel.retransmits(), 1u);
+  EXPECT_EQ(channel.transmissions(), 2u);
+  EXPECT_EQ(channel.acks(), 1u);
+  EXPECT_EQ(channel.dup_requests(), 0u);
+  EXPECT_EQ(f.agent.applied(), 1u);
+  EXPECT_EQ(f.sw.table().size(Band::kCache), 1u);
+}
+
+TEST(ControlChannel, AckLossReacksFromReplyCacheWithoutReapplying) {
+  Fixture f;
+  // Request goes through, its ack is lost; the retransmitted request is a
+  // duplicate the receiver must suppress and re-ack from the reply cache.
+  ScriptedFaults faults({kClean, kLose});
+  ControlChannel channel(f.engine, f.agent, 0.001, reliable(), &faults);
+  int replies = 0;
+  FlowMod mod;
+  mod.rule = rule_of(1, 10);
+  channel.send(mod, [&](const Reply&) { ++replies; });
+  f.engine.run();
+  EXPECT_EQ(replies, 1);
+  EXPECT_EQ(channel.retransmits(), 1u);
+  EXPECT_EQ(channel.dup_requests(), 1u);
+  EXPECT_EQ(channel.acks(), 1u);
+  EXPECT_EQ(f.agent.applied(), 1u);  // applied once, not twice
+}
+
+TEST(ControlChannel, BackoffDelaySaturatesAtRtoMax) {
+  Fixture f;
+  // Lose the initial send and three retransmissions. With rto_initial = 1 ms,
+  // backoff 2x, cap 2 ms and zero latency, retransmits fire at 1, 3, 5, 7 ms;
+  // uncapped they would fire at 1, 3, 7, 15 ms.
+  ScriptedFaults faults({kLose, kLose, kLose, kLose});
+  ControlChannel channel(f.engine, f.agent, 0.0, reliable(1e-3, 2e-3), &faults);
+  double replied_at = -1.0;
+  FlowMod mod;
+  mod.rule = rule_of(1, 10);
+  channel.send(mod, [&](const Reply&) { replied_at = f.engine.now(); });
+  f.engine.run();
+  EXPECT_EQ(channel.retransmits(), 4u);
+  EXPECT_GE(replied_at, 7e-3);
+  EXPECT_LT(replied_at, 9e-3);  // well before the uncapped 15 ms schedule
+  EXPECT_EQ(f.agent.applied(), 1u);
+}
+
+TEST(ControlChannel, ReorderedArrivalsApplyInSendOrder) {
+  Fixture f;
+  // Jitter inverts the wire order: seq 0 lands last, seq 2 lands first. The
+  // receiver must buffer and apply 0, 1, 2 regardless.
+  ScriptedFaults faults({{6e-3}, {3e-3}, {0.0}});
+  ControlChannel channel(f.engine, f.agent, 0.001, reliable(0.05), &faults);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    FlowMod mod;
+    mod.rule = rule_of(static_cast<RuleId>(i + 1), 10);
+    channel.send(mod, [&order, i](const Reply&) { order.push_back(i); });
+  }
+  f.engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(channel.reordered(), 2u);
+  EXPECT_EQ(channel.retransmits(), 0u);
+  EXPECT_EQ(channel.dup_requests(), 0u);
+  EXPECT_EQ(f.sw.table().size(Band::kCache), 3u);
+}
+
+TEST(ControlChannel, DeleteOvertakingAddStillDeletesLast) {
+  Fixture f;
+  // The delete is sent after the add but arrives first. Out-of-order apply
+  // would fail the delete then land the add, leaving a ghost entry; in-order
+  // apply ends with an empty table.
+  ScriptedFaults faults({{5e-3}, {0.0}});
+  ControlChannel channel(f.engine, f.agent, 0.001, reliable(0.05), &faults);
+  FlowMod add;
+  add.rule = rule_of(1, 10);
+  channel.send(add);
+  FlowMod del;
+  del.op = FlowModOp::kDelete;
+  del.rule.id = 1;
+  channel.send(del);
+  f.engine.run();
+  EXPECT_EQ(channel.reordered(), 1u);
+  EXPECT_EQ(f.sw.table().size(Band::kCache), 0u);
+}
+
+TEST(ControlChannel, DuplicatedRequestAppliesOnce) {
+  Fixture f;
+  ScriptedFaults faults({{0.0, 0.0}});  // the wire clones the first request
+  ControlChannel channel(f.engine, f.agent, 0.001, reliable(), &faults);
+  int replies = 0;
+  FlowMod mod;
+  mod.rule = rule_of(1, 10);
+  channel.send(mod, [&](const Reply&) { ++replies; });
+  f.engine.run();
+  EXPECT_EQ(replies, 1);
+  EXPECT_EQ(channel.dup_requests(), 1u);
+  EXPECT_EQ(f.agent.applied(), 1u);
+  EXPECT_EQ(channel.retransmits(), 0u);
+}
+
+TEST(ControlChannel, DuplicatedAckFiresReplyOnce) {
+  Fixture f;
+  ScriptedFaults faults({kClean, {0.0, 0.0}});  // the ack is the cloned copy
+  ControlChannel channel(f.engine, f.agent, 0.001, reliable(), &faults);
+  int replies = 0;
+  FlowMod mod;
+  mod.rule = rule_of(1, 10);
+  channel.send(mod, [&](const Reply&) { ++replies; });
+  f.engine.run();
+  EXPECT_EQ(replies, 1);
+  EXPECT_EQ(channel.acks(), 1u);
+  EXPECT_EQ(channel.dup_acks(), 1u);
+}
+
+TEST(ControlChannel, PacketOutAcksInReliableMode) {
+  Fixture f;
+  // PacketOut has no natural reply; the agent must synthesize an ack or the
+  // retransmission timer would spin forever (and run() would never drain).
+  int outs = 0;
+  f.agent.set_packet_out_handler([&](const PacketOut&) { ++outs; });
+  ControlChannel channel(f.engine, f.agent, 0.001, reliable());
+  PacketOut po;
+  po.xid = 5;
+  po.header = PacketBuilder().ip_proto(6).build();
+  po.action = Action::forward(2);
+  channel.send(po);
+  f.engine.run();
+  EXPECT_EQ(outs, 1);
+  EXPECT_EQ(channel.acks(), 1u);
+  EXPECT_EQ(channel.retransmits(), 0u);
+}
+
+TEST(ControlChannel, UnreliableWireDropsSilently) {
+  Fixture f;
+  // Faults without reliability: the loss is permanent, nothing retransmits.
+  ScriptedFaults faults({kLose, kClean});
+  ControlChannel channel(f.engine, f.agent, 0.001,
+                         ControlChannel::Reliability{}, &faults);
+  FlowMod a;
+  a.rule = rule_of(1, 10);
+  FlowMod b;
+  b.rule = rule_of(2, 10);
+  channel.send(a);
+  channel.send(b);
+  f.engine.run();
+  EXPECT_EQ(channel.sent(), 2u);
+  EXPECT_EQ(channel.retransmits(), 0u);
+  EXPECT_EQ(f.sw.table().size(Band::kCache), 1u);
+  EXPECT_EQ(f.sw.table().find(2, Band::kCache) != nullptr, true);
+}
+
 }  // namespace
 }  // namespace difane

@@ -45,5 +45,48 @@ DIFANE_PROPERTY(NoxVsDifaneTransparency, 200) {
   }
 }
 
+// Transparency must survive a faulty control plane: with reliable delivery
+// and loss < 100%, message loss / duplication / jitter and failed cache
+// installs may delay caching but can never change what happens to a packet.
+// The NOX oracle runs fault-free; only the DIFANE side is perturbed.
+DIFANE_PROPERTY(NoxVsDifaneTransparencyUnderFaults, 120) {
+  proptest::TableGenParams tg;
+  tg.max_rules = 24;
+  tg.add_default = true;
+  Counterexample cex;
+  cex.rules = proptest::gen_table(ctx.rng, tg).rules();
+  cex.packets = proptest::gen_packets(ctx.rng, cex.table(), 24);
+
+  const proptest::TopoGen topo = proptest::gen_topology(ctx.rng);
+  static constexpr CacheStrategy kStrategies[] = {
+      CacheStrategy::kMicroflow, CacheStrategy::kDependentSet,
+      CacheStrategy::kCoverSet};
+  const CacheStrategy strategy = kStrategies[ctx.rng.uniform(0, 2)];
+  const double idle_timeout = ctx.rng.bernoulli(0.5) ? 0.02 : 10.0;
+
+  // Message-level faults only; crashes and flaps drop real packets and are
+  // the chaos suite's subject. Loss runs well past the 10% acceptance bar.
+  FaultPlan plan;
+  plan.seed = ctx.case_seed;
+  plan.msg_loss = ctx.rng.uniform01() * 0.4;
+  plan.msg_dup = ctx.rng.uniform01() * 0.3;
+  plan.msg_jitter_prob = ctx.rng.uniform01() * 0.5;
+  plan.msg_jitter_max = ctx.rng.uniform01() * 2e-3;
+  plan.install_fail = ctx.rng.uniform01() * 0.3;
+
+  const auto oracle = [&](const Counterexample& c) {
+    return proptest::check_nox_vs_difane_faulty(c, topo, strategy, idle_timeout,
+                                                plan);
+  };
+  if (const Violation v = oracle(cex)) {
+    FAIL() << "seed 0x" << std::hex << ctx.case_seed << std::dec << " strategy "
+           << cache_strategy_name(strategy) << " edges " << topo.edge_switches
+           << " cores " << topo.core_switches << " authorities "
+           << topo.authority_count << " idle " << idle_timeout << " "
+           << plan.to_string() << "\n"
+           << proptest::shrink_report(oracle, cex, 1000);
+  }
+}
+
 }  // namespace
 }  // namespace difane

@@ -115,6 +115,107 @@ TEST(Validate, RejectsEachMisWireNamingTheField) {
   EXPECT_EQ(field_of(params), "timings.ttl_hops");
 }
 
+// Fault-injection / reliability knobs added with the chaos subsystem: each
+// mis-wire must likewise name its field.
+TEST(Validate, RejectsFaultAndReliabilityMisWires) {
+  const auto field_of = [](ScenarioParams params) -> std::string {
+    try {
+      params.validate();
+    } catch (const ConfigError& e) {
+      return e.field();
+    }
+    return "";
+  };
+
+  ScenarioParams params = good_params();
+  params.timings.failover_detect = -0.1;
+  EXPECT_EQ(field_of(params), "timings.failover_detect");
+
+  params = good_params();
+  params.timings.heartbeat_interval = -0.05;
+  EXPECT_EQ(field_of(params), "timings.heartbeat_interval");
+
+  params = good_params();
+  params.timings.heartbeat_interval = 0.05;
+  params.timings.heartbeat_miss = 0;
+  params.timings.heartbeat_horizon = 1.0;
+  EXPECT_EQ(field_of(params), "timings.heartbeat_miss");
+
+  params = good_params();
+  params.timings.heartbeat_interval = 0.05;
+  params.timings.heartbeat_horizon = 0.0;  // tick chain would never end
+  EXPECT_EQ(field_of(params), "timings.heartbeat_horizon");
+
+  // Heartbeat off: miss/horizon are dormant and not validated.
+  params = good_params();
+  params.timings.heartbeat_interval = 0.0;
+  params.timings.heartbeat_miss = 0;
+  EXPECT_NO_THROW(params.validate());
+
+  params = good_params();
+  params.reliable_ctrl = true;
+  params.timings.ctrl_rto_initial = 0.0;
+  EXPECT_EQ(field_of(params), "timings.ctrl_rto_initial");
+
+  params = good_params();
+  params.reliable_ctrl = true;
+  params.timings.ctrl_rto_backoff = 0.5;
+  EXPECT_EQ(field_of(params), "timings.ctrl_rto_backoff");
+
+  params = good_params();
+  params.reliable_ctrl = true;
+  params.timings.ctrl_rto_max = 1e-6;  // below ctrl_rto_initial
+  EXPECT_EQ(field_of(params), "timings.ctrl_rto_max");
+
+  // RTO knobs are dormant while reliable_ctrl is off.
+  params = good_params();
+  params.reliable_ctrl = false;
+  params.timings.ctrl_rto_backoff = 0.5;
+  EXPECT_NO_THROW(params.validate());
+
+  params = good_params();
+  params.faults.msg_loss = 1.5;
+  EXPECT_EQ(field_of(params), "faults.msg_loss");
+
+  params = good_params();
+  params.reliable_ctrl = true;
+  params.faults.msg_loss = 1.0;  // would retransmit forever
+  EXPECT_EQ(field_of(params), "faults.msg_loss");
+
+  params = good_params();
+  params.faults.msg_jitter_prob = 0.5;
+  params.faults.msg_jitter_max = -1e-3;
+  EXPECT_EQ(field_of(params), "faults.msg_jitter_max");
+
+  params = good_params();
+  params.faults.link_flaps.push_back(LinkFlap{1, 2, /*down_at=*/0.5,
+                                              /*up_at=*/0.2});
+  EXPECT_EQ(field_of(params), "faults.link_flaps");
+
+  params = good_params();
+  params.faults.crashes.push_back(
+      AuthorityCrash{/*authority_index=*/7, /*at=*/0.1, /*restart_at=*/-1.0});
+  EXPECT_EQ(field_of(params), "faults.crashes");  // only 2 authorities exist
+
+  params = good_params();
+  params.faults.crashes.push_back(
+      AuthorityCrash{/*authority_index=*/0, /*at=*/0.5, /*restart_at=*/0.5});
+  EXPECT_EQ(field_of(params), "faults.crashes");  // restart must follow crash
+
+  // A well-formed chaos config passes.
+  params = good_params();
+  params.reliable_ctrl = true;
+  params.faults.msg_loss = 0.2;
+  params.faults.msg_dup = 0.05;
+  params.faults.msg_jitter_prob = 0.3;
+  params.faults.msg_jitter_max = 2e-3;
+  params.timings.heartbeat_interval = 0.05;
+  params.timings.heartbeat_horizon = 2.0;
+  params.faults.crashes.push_back(
+      AuthorityCrash{/*authority_index=*/0, /*at=*/0.5, /*restart_at=*/1.0});
+  EXPECT_NO_THROW(params.validate());
+}
+
 TEST(Validate, ConfigErrorIsAContractViolation) {
   // Legacy callers catch contract_violation; the refined type must still
   // satisfy them.

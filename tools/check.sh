@@ -41,6 +41,13 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+# The chaos suite (fault injection + reliable channels + verifier gate) runs
+# as part of the full ctest pass above; run it again by label so a chaos
+# regression is called out by name. A failure prints a replay seed — rerun
+# that one case with DIFANE_PROPTEST_REPLAY=0x<seed> ./build/tests/test_prop_faults
+echo "== chaos: ctest -L chaos =="
+ctest --test-dir build --output-on-failure -L chaos -j "$jobs"
+
 if [[ "$quick_bench" == 1 ]]; then
   echo "== quick-bench: bench_all --quick + determinism gate =="
   ./build/tools/bench_all --quick --jobs "$jobs" \
@@ -65,6 +72,9 @@ cmake -B build-san -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDIFANE_SANITIZE=ON
 cmake --build build-san -j "$jobs"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-san --output-on-failure -j "$jobs"
+echo "== chaos (sanitized): ctest -L chaos =="
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-san --output-on-failure -L chaos -j "$jobs"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ./build-san/tools/fuzz_difane --seconds "$fuzz_seconds"
 
