@@ -48,23 +48,35 @@ int main(int argc, char** argv) {
     const std::vector<std::size_t> caches =
         args.quick ? std::vector<std::size_t>{50u, 200u, 800u}
                    : std::vector<std::size_t>{25u, 50u, 100u, 200u, 400u, 800u, 1600u};
-    for (const std::size_t cache : caches) {
+    const CacheStrategy strategies[] = {CacheStrategy::kMicroflow,
+                                        CacheStrategy::kDependentSet,
+                                        CacheStrategy::kCoverSet};
+    constexpr std::size_t kStrategies = 3;
+    // Each (cache size, strategy) pair is an independent cell; run them on
+    // the worker pool and emit metrics/rows serially afterwards.
+    std::vector<double> hit_pct(caches.size() * kStrategies);
+    run_cells(args.threads, hit_pct.size(), [&](std::size_t cell) {
+      const std::size_t cache = caches[cell / kStrategies];
+      const CacheStrategy strategy = strategies[cell % kStrategies];
+      auto params = difane_params(2, strategy, cache);
+      // An authority that knows the ingress budget can afford bigger splice
+      // groups on bigger caches.
+      params.max_splice_cost = std::max<std::size_t>(8, cache / 4);
+      Scenario scenario(policy, params);
+      const auto flows =
+          zipf_traffic(policy, /*rate=*/20000.0, duration, pool, /*skew=*/0.9,
+                       rep.seed, /*mean_packets=*/1.0);
+      hit_pct[cell] = scenario.run(flows).cache_hit_fraction() * 100.0;
+    });
+    for (std::size_t c = 0; c < caches.size(); ++c) {
+      const std::size_t cache = caches[c];
       std::vector<std::string> row{TextTable::integer(static_cast<long long>(cache))};
-      for (const auto strategy : {CacheStrategy::kMicroflow, CacheStrategy::kDependentSet,
-                                  CacheStrategy::kCoverSet}) {
-        auto params = difane_params(2, strategy, cache);
-        // An authority that knows the ingress budget can afford bigger splice
-        // groups on bigger caches.
-        params.max_splice_cost = std::max<std::size_t>(8, cache / 4);
-        Scenario scenario(policy, params);
-        const auto flows =
-            zipf_traffic(policy, /*rate=*/20000.0, duration, pool, /*skew=*/0.9,
-                         rep.seed, /*mean_packets=*/1.0);
-        const auto& stats = scenario.run(flows);
-        rep.set(std::string("hit_pct_") + strategy_slug(strategy) +
+      for (std::size_t s = 0; s < kStrategies; ++s) {
+        const double pct = hit_pct[c * kStrategies + s];
+        rep.set(std::string("hit_pct_") + strategy_slug(strategies[s]) +
                     tag("_cap", static_cast<double>(cache)),
-                stats.cache_hit_fraction() * 100.0);
-        row.push_back(TextTable::num(stats.cache_hit_fraction() * 100.0, 1));
+                pct);
+        row.push_back(TextTable::num(pct, 1));
       }
       table.add_row(std::move(row));
     }

@@ -12,11 +12,14 @@
 //   --quick         reduced problem sizes for CI smoke runs
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/system.hpp"
@@ -36,6 +39,11 @@ struct Args {
   int reps = 1;
   std::uint64_t seed = 0;    // base seed (bench default unless --seed)
   bool quick = false;
+  // Worker threads for cell-level parallelism (run_cells below): independent
+  // sweep cells execute concurrently, results are emitted in the original
+  // serial order, so every deterministic metric is identical at any thread
+  // count — check.sh gates on exactly that.
+  int threads = 1;
 
   // Sweep helper: full-size value normally, reduced value under --quick.
   template <typename T>
@@ -46,11 +54,14 @@ struct Args {
 
 [[noreturn]] inline void usage(const char* bench_id, int exit_code) {
   std::fprintf(exit_code == 0 ? stdout : stderr,
-               "usage: %s [--json <path>] [--reps N] [--seed S] [--quick]\n"
+               "usage: %s [--json <path>] [--reps N] [--seed S] [--quick] "
+               "[--threads N]\n"
                "  --json <path>  write BENCH_%s-style JSON report to <path>\n"
                "  --reps N       repetitions (metrics averaged; seeds base..base+N-1)\n"
                "  --seed S       override the base seed\n"
-               "  --quick        reduced problem sizes (CI smoke mode)\n",
+               "  --quick        reduced problem sizes (CI smoke mode)\n"
+               "  --threads N    run independent sweep cells on N worker threads\n"
+               "                 (deterministic metrics are thread-count invariant)\n",
                bench_id, bench_id);
   std::exit(exit_code);
 }
@@ -81,6 +92,12 @@ inline Args parse_args(int argc, char** argv, const char* bench_id,
       args.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--quick") {
       args.quick = true;
+    } else if (arg == "--threads") {
+      args.threads = std::atoi(next());
+      if (args.threads < 1) {
+        std::fprintf(stderr, "%s: --threads must be >= 1\n", bench_id);
+        std::exit(2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(bench_id, 0);
     } else {
@@ -136,6 +153,37 @@ int run_bench(const Args& args, Fn&& body) {
     std::fprintf(stderr, "[%s] failed: %s\n", args.bench_id.c_str(), e.what());
     return 1;
   }
+}
+
+// Run `count` independent sweep cells, cell `i` via body(i), on up to
+// `threads` worker threads (an atomic work index hands out cells). Each cell
+// must be self-contained — its own Scenario, workload, and result slot,
+// indexed by `i` — and must not print or touch shared report state; callers
+// emit tables and metrics afterwards, walking the results in serial order,
+// which keeps every deterministic metric byte-identical at any thread
+// count. threads <= 1 degrades to a plain serial loop on this thread.
+inline void run_cells(int threads, std::size_t count,
+                      const std::function<void(std::size_t)>& body) {
+  const std::size_t workers =
+      std::min<std::size_t>(threads < 1 ? 1 : static_cast<std::size_t>(threads),
+                            count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        body(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
 }
 
 // Stable metric-key suffix for a sweep point: "_at_100000" etc. Integral

@@ -1,6 +1,7 @@
 #include "core/cache_planner.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/contract.hpp"
 
@@ -63,7 +64,12 @@ CachePlan plan_cache(const RuleTable& table, const DependencyGraph& graph,
   std::vector<bool> cached(table.size(), false);
   std::vector<bool> shadowed(table.size(), false);
 
-  while (plan.entries_used < budget) {
+  // No `entries_used < budget` bound on the loop itself: cover-set upgrades
+  // of an already-shadowed rule whose parents are all covered cost *zero*
+  // entries (the copy replaces the shadow one-for-one), so they remain
+  // selectable at full budget. The loop still terminates — every selection
+  // marks a previously uncached rule cached.
+  for (;;) {
     double best_ratio = 0.0;
     std::uint32_t best = 0;
     Marginal best_m;
@@ -74,8 +80,16 @@ CachePlan plan_cache(const RuleTable& table, const DependencyGraph& graph,
           strategy == CacheStrategy::kDependentSet
               ? marginal_dependent(table, graph, cached, idx)
               : marginal_cover(table, graph, cached, shadowed, idx);
-      if (m.cost == 0 || m.cost > budget - plan.entries_used) continue;
-      const double ratio = m.gain / static_cast<double>(m.cost);
+      if (m.cost > budget - plan.entries_used) continue;
+      // A zero-cost selection is a free upgrade (shadow -> terminal copy):
+      // infinite gain ratio, take it before anything that spends entries.
+      // Skipping these (the old `cost == 0 => continue`) left redirect
+      // shadows sitting on top of fully covered rules, which is why cache
+      // hit rate could *dip* as the budget grew past the point where whole
+      // cover groups fit (see EXPERIMENTS.md, E6).
+      const double ratio = m.cost == 0
+                               ? std::numeric_limits<double>::infinity()
+                               : m.gain / static_cast<double>(m.cost);
       if (!found || ratio > best_ratio) {
         found = true;
         best_ratio = ratio;

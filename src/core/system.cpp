@@ -87,6 +87,14 @@ void ScenarioParams::validate() const {
                         "the end of injected traffic)");
     }
   }
+  if (threads == 0) {
+    throw ConfigError("threads", "need at least one worker thread");
+  }
+  if (threads > 1 && link.latency <= 0.0) {
+    throw ConfigError("threads",
+                      "the sharded engine's conservative lookahead is the link "
+                      "latency; threads > 1 needs link.latency > 0");
+  }
   if (reliable_ctrl) {
     if (timings.ctrl_rto_initial <= 0.0) {
       throw ConfigError("timings.ctrl_rto_initial",
@@ -164,11 +172,18 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
       break;
     }
   }
+  // Shard plan before any engine-holding component: agents and channels are
+  // constructed against the engine that will execute their switch's events.
+  build_shards();
   // Fault machinery first, so the channels and agents below can hook into
   // it. With an inactive plan nothing is built and every construction below
-  // takes its legacy path.
+  // takes its legacy path. Under the sharded executor the injector splits
+  // one Rng stream per shard (plus a coordinator stream) from the master
+  // seed, so each shard's deterministic event order implies a deterministic
+  // draw order regardless of worker scheduling.
   if (params_.faults.active()) {
-    injector_ = std::make_unique<FaultInjector>(params_.faults);
+    injector_ = std::make_unique<FaultInjector>(
+        params_.faults, exec_ != nullptr ? shard_stats_.size() : 0);
   }
   // Control agents + install channels for every switch. Cache installs (from
   // authority switches or the NOX controller) go through these so they pay
@@ -179,7 +194,8 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
   reliability.rto_backoff = params_.timings.ctrl_rto_backoff;
   reliability.rto_max = params_.timings.ctrl_rto_max;
   for (SwitchId id = 0; id < net_.switch_count(); ++id) {
-    agents_.push_back(std::make_unique<SwitchAgent>(net_.engine(), net_.sw(id)));
+    agents_.push_back(
+        std::make_unique<SwitchAgent>(engine_of(id), net_.sw(id)));
     if (injector_ != nullptr) {
       // Under faults a protector install can be lost or fail, so dependents
       // must be checked rather than trusted (over-redirect beats
@@ -192,7 +208,7 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
                                ? params_.timings.cache_install_latency
                                : params_.nox.one_way_latency;
     install_channels_.push_back(std::make_unique<ControlChannel>(
-        net_.engine(), *agents_.back(), latency, reliability, injector_.get()));
+        engine_of(id), *agents_.back(), latency, reliability, injector_.get()));
   }
   // Heartbeat-based failure detection over the authority switches.
   if (difane_ != nullptr && params_.timings.heartbeat_interval > 0.0) {
@@ -211,6 +227,82 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
     heartbeat_->start();
   }
   schedule_faults();
+}
+
+// Partition the switches into shards. DIFANE: authority switches spread
+// round-robin across the shards first — each shard then accretes a slice of
+// the edge — so concurrent authority-serving work lands on distinct workers.
+// NOX: the controller gets a shard of its own (the punt path serializes
+// through it anyway) and the switches share the rest. threads == 1 builds
+// nothing: every downstream branch on exec_ takes the legacy path and the
+// run is byte-identical to previous releases.
+void Scenario::build_shards() {
+  shard_of_.assign(net_.switch_count(), 0);
+  ctrl_shard_ = 0;
+  if (params_.threads <= 1 || net_.switch_count() == 0) return;
+  std::size_t n_shards = 0;
+  if (params_.mode == Mode::kDifane) {
+    n_shards = std::min<std::size_t>(params_.threads, net_.switch_count());
+    std::vector<char> placed(net_.switch_count(), 0);
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < params_.authority_count; ++i) {
+      const SwitchId sw = topo_.core[i];
+      shard_of_[sw] = static_cast<std::uint32_t>(next++ % n_shards);
+      placed[sw] = 1;
+    }
+    for (SwitchId id = 0; id < net_.switch_count(); ++id) {
+      if (placed[id]) continue;
+      shard_of_[id] = static_cast<std::uint32_t>(next++ % n_shards);
+    }
+  } else {
+    n_shards = std::min<std::size_t>(params_.threads, net_.switch_count() + 1);
+    const std::size_t sw_shards = n_shards - 1;  // threads > 1 => n_shards >= 2
+    ctrl_shard_ = static_cast<std::uint32_t>(sw_shards);
+    for (SwitchId id = 0; id < net_.switch_count(); ++id) {
+      shard_of_[id] = static_cast<std::uint32_t>(id % sw_shards);
+    }
+  }
+  exec_ = std::make_unique<shard::Executor>(
+      n_shards, params_.threads, params_.link.latency, &net_.engine());
+  shard_stats_.resize(n_shards);
+}
+
+void Scenario::merge_shard_stats() {
+  for (auto& s : shard_stats_) {
+    stats_.merge_from(s);
+    s = ScenarioStats{};  // reset so a rerun of this Scenario starts clean
+  }
+}
+
+void ScenarioStats::merge_from(const ScenarioStats& other) {
+  tracer.merge_from(other.tracer);
+  ingress_cache_hits += other.ingress_cache_hits;
+  ingress_local_hits += other.ingress_local_hits;
+  redirects += other.redirects;
+  queue_rejects += other.queue_rejects;
+  cache_installs += other.cache_installs;
+  cache_rules_installed += other.cache_rules_installed;
+  cache_hit_mismatches += other.cache_hit_mismatches;
+  stretch.merge_from(other.stretch);
+  setup_completions.merge_from(other.setup_completions);
+  ctrl_transmissions += other.ctrl_transmissions;
+  ctrl_retransmits += other.ctrl_retransmits;
+  ctrl_acks += other.ctrl_acks;
+  ctrl_dup_requests += other.ctrl_dup_requests;
+  ctrl_reordered += other.ctrl_reordered;
+  msgs_lost += other.msgs_lost;
+  msgs_duplicated += other.msgs_duplicated;
+  msgs_jittered += other.msgs_jittered;
+  install_faults += other.install_faults;
+  guard_rejects += other.guard_rejects;
+  heartbeats_heard += other.heartbeats_heard;
+  heartbeats_missed += other.heartbeats_missed;
+  failovers_detected += other.failovers_detected;
+  recoveries_detected += other.recoveries_detected;
+  spurious_failovers += other.spurious_failovers;
+  link_flaps += other.link_flaps;
+  authority_crashes += other.authority_crashes;
+  authority_restarts += other.authority_restarts;
 }
 
 void Scenario::schedule_faults() {
@@ -325,6 +417,7 @@ obs::MetricsReport ScenarioStats::snapshot(const std::string& experiment) const 
   report.set("heartbeats_missed", static_cast<double>(heartbeats_missed));
   report.set("failovers_detected", static_cast<double>(failovers_detected));
   report.set("recoveries_detected", static_cast<double>(recoveries_detected));
+  report.set("spurious_failovers", static_cast<double>(spurious_failovers));
   report.set("link_flaps", static_cast<double>(link_flaps));
   report.set("authority_crashes", static_cast<double>(authority_crashes));
   report.set("authority_restarts", static_cast<double>(authority_restarts));
@@ -342,7 +435,16 @@ std::vector<FlowStatsEntry> Scenario::query_flow_stats() const {
 
 const ScenarioStats& Scenario::run(const std::vector<FlowSpec>& flows) {
   for (const auto& flow : flows) inject(flow);
-  net_.engine().run();
+  if (exec_ != nullptr) {
+    // Routes must exist before shard threads read next_hop() concurrently;
+    // they are recomputed at the barrier after any window that ran global
+    // events (link flaps, crashes) — the only events that invalidate them.
+    net_.precompute_routes();
+    exec_->run([this]() { net_.precompute_routes(); });
+    merge_shard_stats();
+  } else {
+    net_.engine().run();
+  }
   ensures(stats_.tracer.in_flight() == 0,
           "Scenario: packets unaccounted for after the run");
   collect_fault_stats();
@@ -379,14 +481,16 @@ void Scenario::collect_fault_stats() {
     stats_.heartbeats_missed = heartbeat_->beats_missed();
     stats_.failovers_detected = heartbeat_->failures_declared();
     stats_.recoveries_detected = heartbeat_->recoveries_declared();
+    stats_.spurious_failovers = heartbeat_->spurious_failovers();
   }
   // The per-channel totals are cumulative across runs of this scenario, so
   // only the delta since the previous collection reaches the global registry.
   obs_retransmits_->inc(stats_.ctrl_retransmits - obs_reported_.retransmits);
   obs_msgs_lost_->inc(stats_.msgs_lost - obs_reported_.msgs_lost);
   obs_failovers_->inc(stats_.failovers_detected - obs_reported_.failovers);
+  obs_spurious_->inc(stats_.spurious_failovers - obs_reported_.spurious);
   obs_reported_ = {stats_.ctrl_retransmits, stats_.msgs_lost,
-                   stats_.failovers_detected};
+                   stats_.failovers_detected, stats_.spurious_failovers};
 }
 
 VerifyReport Scenario::verify_installed(std::size_t samples_per_ingress,
@@ -408,25 +512,26 @@ void Scenario::inject(const FlowSpec& flow) {
     pkt.created = flow.start + static_cast<double>(p) * flow.packet_gap;
     pkt.ingress = ingress;
     pkt.is_first_of_flow = (p == 0);
-    net_.engine().at(pkt.created, [this, ingress, pkt]() {
-      stats_.tracer.on_injected(pkt);
+    schedule_at_switch(ingress, pkt.created, [this, ingress, pkt]() {
+      st().tracer.on_injected(pkt);
       process(ingress, pkt);
     });
   }
 }
 
 void Scenario::dispose(const Packet& pkt, bool delivered, DropReason reason) {
-  const double now = net_.engine().now();
+  const double now = cur_engine().now();
+  ScenarioStats& s = st();
   if (delivered) {
-    stats_.tracer.on_delivered(pkt, now);
+    s.tracer.on_delivered(pkt, now);
   } else {
-    stats_.tracer.on_dropped(pkt, reason);
+    s.tracer.on_dropped(pkt, reason);
   }
   // Flow setup completes when the first packet reaches its policy-mandated
   // disposition (delivery or an explicit policy drop). Losses from overload
   // or failures are not completions.
   if (pkt.is_first_of_flow && (delivered || reason == DropReason::kPolicyDrop)) {
-    stats_.setup_completions.record(now);
+    s.setup_completions.record(now);
   }
 }
 
@@ -454,7 +559,7 @@ void Scenario::process(SwitchId at, Packet pkt) {
     }
     return;
   }
-  const double now = net_.engine().now();
+  const double now = cur_engine().now();
   const FlowEntry* entry = sw.table().lookup(pkt.header, now, pkt.bytes);
   if (entry == nullptr) {
     if (params_.mode == Mode::kNox && at == pkt.ingress) {
@@ -467,17 +572,17 @@ void Scenario::process(SwitchId at, Packet pkt) {
   // Ingress-side cache accounting (first lookup of the packet only).
   if (at == pkt.ingress && pkt.hops == 0 && !pkt.was_redirected) {
     if (entry->band == Band::kCache) {
-      ++stats_.ingress_cache_hits;
+      ++st().ingress_cache_hits;
     } else if (entry->band == Band::kAuthority) {
-      ++stats_.ingress_local_hits;
+      ++st().ingress_local_hits;
     }
   }
   if (params_.verify_cache_hits && entry->band == Band::kCache &&
       entry->rule.action.type != ActionType::kEncap) {
     const Rule* want = policy_.match(pkt.header);
     if (want != nullptr && entry->rule.origin_or_self() != want->id) {
-      ++stats_.cache_hit_mismatches;
-      if (stats_.cache_hit_mismatches <= 5) {
+      ++st().cache_hit_mismatches;
+      if (st().cache_hit_mismatches <= 5) {
         log_warn("cache-hit mismatch at switch ", at, ": hit ",
                  entry->rule.to_string(), " (origin ", entry->rule.origin_or_self(),
                  ") want ", want->to_string());
@@ -489,13 +594,13 @@ void Scenario::process(SwitchId at, Packet pkt) {
 
 void Scenario::handle_authority(SwitchId at, Packet pkt) {
   obs_authority_->inc();
-  const double now = net_.engine().now();
+  const double now = cur_engine().now();
   auto queue_it = authority_queues_.find(at);
   expects(queue_it != authority_queues_.end(),
           "handle_authority: redirect reached a non-authority switch");
   const auto completion = queue_it->second.admit(now);
   if (!completion.has_value()) {
-    ++stats_.queue_rejects;
+    ++st().queue_rejects;
     dispose(pkt, false, DropReason::kControllerQueue);
     return;
   }
@@ -510,7 +615,18 @@ void Scenario::handle_authority(SwitchId at, Packet pkt) {
       return;
     }
     if (!result->install.rules.empty() && pkt.ingress != at) {
-      install_cache(pkt.ingress, result->install);
+      if (exec_ == nullptr) {
+        install_cache(pkt.ingress, at, result->install);
+      } else {
+        // The ingress's channel lives on the ingress's shard engine; hop the
+        // install there (it crosses the window boundary, so threads > 1 pays
+        // the documented clamp on this latency-free control dispatch).
+        const SwitchId ingress = pkt.ingress;
+        exec_->schedule(shard_of_[ingress], cur_engine().now(),
+                        [this, ingress, at, install = result->install]() {
+                          install_cache(ingress, at, install);
+                        });
+      }
     }
     if (result->winner == nullptr) {
       dispose(pkt, false, DropReason::kNoRule);
@@ -519,24 +635,42 @@ void Scenario::handle_authority(SwitchId at, Packet pkt) {
     // Credit the hit to this switch's installed authority-band copy so
     // per-policy-rule counters stay exact (transparency).
     net_.sw(at).table().hit(result->winner->id, Band::kAuthority,
-                            net_.engine().now(), pkt.bytes);
+                            cur_engine().now(), pkt.bytes);
     apply_action(at, pkt, result->winner->action);
   };
   static_assert(Engine::Handler::fits_inline<decltype(resolve)>,
                 "authority-resolution capture must fit the engine's inline "
                 "handler storage (raise Engine::kInlineHandlerBytes)");
-  net_.engine().at(*completion, std::move(resolve));
+  cur_engine().at(*completion, std::move(resolve));
 }
 
-void Scenario::install_cache(SwitchId ingress, const CacheInstall& install) {
+void Scenario::install_cache(SwitchId ingress, SwitchId from_authority,
+                             const CacheInstall& install) {
   // A group that cannot fit would evict its own members while installing,
   // leaving an unprotected rule behind; skip it (the flow keeps taking the
   // redirect path, which is always correct).
   if (install.rules.empty()) return;  // kNone: nothing to install
   if (install.rules.size() > params_.edge_cache_capacity) return;
   obs_installs_->inc();
-  ++stats_.cache_installs;
-  stats_.cache_rules_installed += install.rules.size();
+  ScenarioStats& s = st();
+  ++s.cache_installs;
+  s.cache_rules_installed += install.rules.size();
+  // An install push is liveness evidence for the sending authority: tell the
+  // heartbeat monitor once the message would have reached the ingress, so a
+  // run of lost beats from a switch that is visibly serving traffic does not
+  // escalate into a spurious failover.
+  if (heartbeat_ != nullptr) {
+    const double arrive =
+        cur_engine().now() + params_.timings.cache_install_latency;
+    auto note = [this, from_authority]() {
+      heartbeat_->note_message_from(from_authority);
+    };
+    if (exec_ != nullptr) {
+      exec_->schedule_global(arrive, std::move(note));
+    } else {
+      net_.engine().at(arrive, std::move(note));
+    }
+  }
   // Protectors first: until the lowest-priority member lands, a partially
   // installed group only over-redirects, never mis-forwards.
   auto ordered = install.rules;
@@ -558,11 +692,11 @@ void Scenario::install_cache(SwitchId ingress, const CacheInstall& install) {
 }
 
 void Scenario::punt_to_controller(Packet pkt) {
-  const double arrival = net_.engine().now() + params_.nox.one_way_latency;
-  net_.engine().at(arrival, [this, pkt]() mutable {
-    const auto decision = nox_->handle_punt(net_.engine().now(), pkt.header);
+  const double arrival = cur_engine().now() + params_.nox.one_way_latency;
+  auto punt = [this, pkt]() mutable {
+    const auto decision = nox_->handle_punt(cur_engine().now(), pkt.header);
     if (!decision.has_value()) {
-      ++stats_.queue_rejects;
+      ++st().queue_rejects;
       dispose(pkt, false, DropReason::kControllerQueue);
       return;
     }
@@ -580,10 +714,20 @@ void Scenario::punt_to_controller(Packet pkt) {
         mod.band = Band::kCache;
         mod.rule = *decision->cache_rule;
         mod.idle_timeout = params_.timings.cache_idle_timeout;
-        install_channels_[pkt.ingress]->send(mod);
+        if (exec_ == nullptr) {
+          install_channels_[pkt.ingress]->send(mod);
+        } else {
+          // The channel lives on the ingress's shard; hop the send there.
+          const SwitchId ingress = pkt.ingress;
+          exec_->schedule(shard_of_[ingress], cur_engine().now(),
+                          [this, ingress, mod]() mutable {
+                            install_channels_[ingress]->send(std::move(mod));
+                          });
+        }
       }
       // ...while the packet-out resumes the packet at the ingress switch.
-      net_.engine().after(params_.nox.one_way_latency, [this, pkt, action]() mutable {
+      const double out = cur_engine().now() + params_.nox.one_way_latency;
+      schedule_at_switch(pkt.ingress, out, [this, pkt, action]() mutable {
         Switch& sw = net_.sw(pkt.ingress);
         if (sw.failed()) {
           dispose(pkt, false, DropReason::kSwitchFailed);
@@ -596,15 +740,20 @@ void Scenario::punt_to_controller(Packet pkt) {
                   "NOX resume capture (packet + controller decision) must fit "
                   "the engine's inline handler storage — it is the largest "
                   "event capture in core/system.cpp");
-    net_.engine().at(decision->ready_time, std::move(resume));
-  });
+    cur_engine().at(decision->ready_time, std::move(resume));
+  };
+  if (exec_ != nullptr) {
+    exec_->schedule(ctrl_shard_, arrival, std::move(punt));
+  } else {
+    net_.engine().at(arrival, std::move(punt));
+  }
 }
 
 void Scenario::deliver(SwitchId at, Packet pkt) {
   if (pkt.is_first_of_flow) {
     const auto shortest = net_.distance(pkt.ingress, at);
     const double base = shortest == 0 ? 1.0 : static_cast<double>(shortest);
-    stats_.stretch.add(static_cast<double>(std::max<std::uint32_t>(pkt.hops, 1)) / base);
+    st().stretch.add(static_cast<double>(std::max<std::uint32_t>(pkt.hops, 1)) / base);
   }
   dispose(pkt, true, DropReason::kPolicyDrop /*unused for deliveries*/);
 }
@@ -629,7 +778,7 @@ void Scenario::apply_action(SwitchId at, Packet pkt, const Action& action) {
       pkt.encap_target = target;
       if (!pkt.was_redirected) {
         pkt.was_redirected = true;
-        ++stats_.redirects;
+        ++st().redirects;
       }
       if (at == target) {
         handle_authority(at, pkt);
@@ -662,13 +811,15 @@ void Scenario::forward_hop(SwitchId at, SwitchId toward, Packet pkt) {
     dispose(pkt, false, DropReason::kUnreachable);
     return;
   }
-  const double now = net_.engine().now();
+  const double now = cur_engine().now();
   const double delivery = link->send(now, pkt.bytes) + params_.timings.switch_proc;
   pkt.hops += 1;
   auto hop = [this, nh, pkt]() { process(nh, pkt); };
   static_assert(Engine::Handler::fits_inline<decltype(hop)>,
                 "per-hop capture must fit the engine's inline handler storage");
-  net_.engine().at(delivery, std::move(hop));
+  // Every hop pays at least the link latency, so a cross-shard hop always
+  // lands at or beyond the receiving window's start — never clamped.
+  schedule_at_switch(nh, delivery, std::move(hop));
 }
 
 void Scenario::schedule_authority_failure(SimTime when, SwitchId authority) {

@@ -14,6 +14,7 @@
 #include "core/difane_controller.hpp"
 #include "core/verifier.hpp"
 #include "ctrlchan/channel.hpp"
+#include "engine/sharded.hpp"
 #include "faults/heartbeat.hpp"
 #include "faults/injector.hpp"
 #include "faults/plan.hpp"
@@ -102,6 +103,17 @@ struct ScenarioParams {
   // identical params reproduces a byte-identical report.
   FaultPlan faults;
 
+  // Worker threads for the sharded parallel engine. 1 (the default) runs the
+  // classic single-threaded event loop — byte-identical to previous
+  // releases. N > 1 partitions the switches into per-authority-serving-set
+  // shards executed under conservative time windows (lookahead = link
+  // latency); results are then *seed-stable* — the same (seed, threads)
+  // replays identically regardless of OS scheduling — but not numerically
+  // equal to threads=1, because latency-free cross-shard control dispatches
+  // are exchanged at window boundaries. See shard::Executor and the README
+  // "Parallel execution" section.
+  std::size_t threads = 1;
+
   // Reject mis-wired parameter combinations before any topology or control
   // plane is built. Throws difane::ConfigError naming the offending field.
   // The Scenario constructor calls this; call it yourself to fail fast when
@@ -138,6 +150,7 @@ struct ScenarioStats {
   std::uint64_t heartbeats_missed = 0;
   std::uint64_t failovers_detected = 0;   // heartbeat failure declarations
   std::uint64_t recoveries_detected = 0;
+  std::uint64_t spurious_failovers = 0;   // failovers declared for live switches
   std::uint64_t link_flaps = 0;           // link-down events executed
   std::uint64_t authority_crashes = 0;
   std::uint64_t authority_restarts = 0;
@@ -147,6 +160,11 @@ struct ScenarioStats {
                        static_cast<double>(total)
                  : 0.0;
   }
+
+  // Fold another shard's counters into this one (commutative sums plus
+  // sample-set/rate-meter merges). The Scenario merges shards in fixed shard
+  // order after a parallel run, so the aggregate is deterministic.
+  void merge_from(const ScenarioStats& other);
 
   // Flatten every measurement into one structured report — the single
   // surface the exporters, benches, and tests consume, instead of each
@@ -210,7 +228,36 @@ class Scenario {
   void deliver(SwitchId at, Packet pkt);
   void forward_hop(SwitchId at, SwitchId toward_neighbor_of, Packet pkt);
   void dispose(const Packet& pkt, bool delivered, DropReason reason);
-  void install_cache(SwitchId ingress, const CacheInstall& install);
+  void install_cache(SwitchId ingress, SwitchId from_authority,
+                     const CacheInstall& install);
+  void build_shards();
+  void merge_shard_stats();
+
+  // The engine driving the code currently executing: the owning shard's
+  // engine under the sharded executor, net_.engine() otherwise. Handlers use
+  // this (never net_.engine() directly) for now()/after().
+  Engine& cur_engine() {
+    return exec_ ? exec_->context_engine() : net_.engine();
+  }
+  // Per-shard stats under the executor (merged in shard order after the
+  // run), the scenario-wide stats otherwise.
+  ScenarioStats& st() {
+    if (exec_ == nullptr) return stats_;
+    const std::uint32_t s = shard::current_shard();
+    return s == shard::kNoShard ? stats_ : shard_stats_[s];
+  }
+  // Engine owning switch `sw`'s events (construction-time wiring).
+  Engine& engine_of(SwitchId sw) {
+    return exec_ ? exec_->shard_engine(shard_of_[sw]) : net_.engine();
+  }
+  // Schedule a handler that touches switch `sw` at absolute time `when`.
+  void schedule_at_switch(SwitchId sw, SimTime when, Engine::Handler fn) {
+    if (exec_ != nullptr) {
+      exec_->schedule(shard_of_[sw], when, std::move(fn));
+    } else {
+      net_.engine().at(when, std::move(fn));
+    }
+  }
 
   RuleTable policy_;
   ScenarioParams params_;
@@ -228,6 +275,14 @@ class Scenario {
   // the legacy one.
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<HeartbeatMonitor> heartbeat_;
+  // Sharded parallel execution (threads > 1 only; nullptr keeps every code
+  // path exactly the legacy single-threaded one). Global events — fault
+  // schedules, heartbeat ticks, failover handling — stay on net_.engine(),
+  // which the executor runs as its coordinator-side global queue.
+  std::unique_ptr<shard::Executor> exec_;
+  std::vector<std::uint32_t> shard_of_;   // switch -> shard
+  std::uint32_t ctrl_shard_ = 0;          // NOX controller's home shard
+  std::vector<ScenarioStats> shard_stats_;
   ScenarioStats stats_;
   // Process-wide observability hooks, resolved once here so the per-packet
   // cost is a single relaxed atomic increment (nothing at all when built
@@ -247,10 +302,13 @@ class Scenario {
       obs::MetricsRegistry::global().counter("scenario_ctrl_msgs_lost");
   obs::Counter* obs_failovers_ =
       obs::MetricsRegistry::global().counter("scenario_failovers_detected");
+  obs::Counter* obs_spurious_ =
+      obs::MetricsRegistry::global().counter("scenario_spurious_failovers");
   struct {
     std::uint64_t retransmits = 0;
     std::uint64_t msgs_lost = 0;
     std::uint64_t failovers = 0;
+    std::uint64_t spurious = 0;
   } obs_reported_;
 };
 

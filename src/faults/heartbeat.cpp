@@ -19,6 +19,12 @@ void HeartbeatMonitor::start() {
   }
 }
 
+void HeartbeatMonitor::note_message_from(SwitchId sw) {
+  for (auto& w : watched_) {
+    if (w.sw == sw) w.message_since_tick = true;
+  }
+}
+
 void HeartbeatMonitor::tick() {
   const double now = net_.engine().now();
   for (auto& w : watched_) {
@@ -27,8 +33,14 @@ void HeartbeatMonitor::tick() {
     const bool beat_arrived =
         !net_.sw(w.sw).failed() &&
         (injector_ == nullptr || !injector_->heartbeat_lost());
-    if (beat_arrived) {
-      ++beats_heard_;
+    // Any message heard from the switch since the last tick proves liveness
+    // just as well as the dedicated beat — it resets the miss counter, so a
+    // run of lost/jittered beats from a switch that is visibly serving
+    // traffic cannot accumulate into a spurious failover.
+    const bool alive = beat_arrived || w.message_since_tick;
+    w.message_since_tick = false;
+    if (alive) {
+      if (beat_arrived) ++beats_heard_;
       w.consecutive_misses = 0;
       if (w.declared_down) {
         w.declared_down = false;
@@ -41,6 +53,7 @@ void HeartbeatMonitor::tick() {
       if (!w.declared_down && w.consecutive_misses >= params_.miss_threshold) {
         w.declared_down = true;
         ++failures_declared_;
+        if (!net_.sw(w.sw).failed()) ++spurious_failovers_;
         if (on_failure_) on_failure_(w.sw, now);
       }
     }

@@ -42,10 +42,22 @@ class HeartbeatMonitor {
   // Schedule the periodic tick chain. Call once, after the callbacks are set.
   void start();
 
+  // Liveness evidence from any control message the authority sent (a cache
+  // install arriving at an ingress, an ack): treat it like a beat at the next
+  // tick. Without this, jitter larger than miss_threshold x interval can
+  // stall the beat stream long enough to declare a *spurious* failover —
+  // failing over a switch that is demonstrably alive and serving — followed
+  // by an immediate recovery, churning the partition tables twice for
+  // nothing.
+  void note_message_from(SwitchId sw);
+
   std::uint64_t beats_heard() const { return beats_heard_; }
   std::uint64_t beats_missed() const { return beats_missed_; }
   std::uint64_t failures_declared() const { return failures_declared_; }
   std::uint64_t recoveries_declared() const { return recoveries_declared_; }
+  // Failure declarations for a switch that was not actually failed at
+  // declaration time (detection false positives).
+  std::uint64_t spurious_failovers() const { return spurious_failovers_; }
 
  private:
   void tick();
@@ -54,6 +66,7 @@ class HeartbeatMonitor {
     SwitchId sw = kInvalidSwitch;
     std::uint32_t consecutive_misses = 0;
     bool declared_down = false;
+    bool message_since_tick = false;
   };
 
   Network& net_;
@@ -66,6 +79,7 @@ class HeartbeatMonitor {
   std::uint64_t beats_missed_ = 0;
   std::uint64_t failures_declared_ = 0;
   std::uint64_t recoveries_declared_ = 0;
+  std::uint64_t spurious_failovers_ = 0;
 };
 
 }  // namespace difane

@@ -29,6 +29,11 @@ class Tracer {
   void on_delivered(const Packet& packet, double now);
   void on_dropped(const Packet& packet, DropReason reason);
 
+  // Fold another tracer's accounting in (per-shard tracers merged in
+  // shard-index order at the end of a sharded run). Delay sample sets append;
+  // their percentiles sort first, so results are merge-order independent.
+  void merge_from(const Tracer& other);
+
   std::uint64_t injected() const { return injected_; }
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped() const { return dropped_total_; }

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include "core/system.hpp"
 #include "ctrlchan/channel.hpp"
+#include "faults/heartbeat.hpp"
+#include "faults/injector.hpp"
 #include "flowspace/header.hpp"
+#include "workload/rulegen.hpp"
+#include "workload/trafficgen.hpp"
 
 namespace difane {
 namespace {
@@ -441,6 +446,156 @@ TEST(ControlChannel, UnreliableWireDropsSilently) {
   EXPECT_EQ(channel.retransmits(), 0u);
   EXPECT_EQ(f.sw.table().size(Band::kCache), 1u);
   EXPECT_EQ(f.sw.table().find(2, Band::kCache) != nullptr, true);
+}
+
+// ---------------------------------------------------------------------------
+// HeartbeatMonitor: any-message liveness evidence and spurious-failover
+// accounting.
+
+struct HeartbeatFixture {
+  Network net;
+  SwitchId watched;
+  HeartbeatFixture() { watched = net.add_switch(/*cache=*/10); }
+
+  HeartbeatMonitor monitor(HeartbeatParams hp, FaultInjector* injector) {
+    return HeartbeatMonitor(net, {watched}, hp, injector);
+  }
+};
+
+// A plan that loses every heartbeat on the wire. Without other evidence the
+// monitor must (wrongly) declare the live switch down — and count it as a
+// spurious failover.
+FaultPlan lose_all_beats() {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.msg_loss = 1.0;
+  return plan;
+}
+
+TEST(HeartbeatMonitor, TotalBeatLossDeclaresSpuriousFailover) {
+  HeartbeatFixture f;
+  FaultInjector injector(lose_all_beats());
+  HeartbeatParams hp;
+  hp.interval = 0.01;
+  hp.miss_threshold = 3;
+  hp.horizon = 0.1;
+  auto monitor = f.monitor(hp, &injector);
+  int failures = 0;
+  monitor.on_failure([&](SwitchId, double) { ++failures; });
+  monitor.start();
+  f.net.engine().run();
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(monitor.failures_declared(), 1u);
+  // The switch never actually failed: this was a detection false positive.
+  EXPECT_EQ(monitor.spurious_failovers(), 1u);
+}
+
+TEST(HeartbeatMonitor, AnyMessageResetsTheMissCounter) {
+  HeartbeatFixture f;
+  FaultInjector injector(lose_all_beats());
+  HeartbeatParams hp;
+  hp.interval = 0.01;
+  hp.miss_threshold = 3;
+  hp.horizon = 0.1;
+  auto monitor = f.monitor(hp, &injector);
+  int failures = 0;
+  monitor.on_failure([&](SwitchId, double) { ++failures; });
+  monitor.start();
+  // The switch keeps sending *other* control traffic (cache installs) even
+  // though every dedicated beat is lost: note one message per tick interval.
+  for (int i = 1; i <= 9; ++i) {
+    f.net.engine().at(0.01 * i - 0.002, [&monitor, &f]() {
+      monitor.note_message_from(f.watched);
+    });
+  }
+  f.net.engine().run();
+  // Liveness evidence arrived before every tick: no failover, no false
+  // positive, despite zero beats heard.
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(monitor.failures_declared(), 0u);
+  EXPECT_EQ(monitor.spurious_failovers(), 0u);
+  EXPECT_EQ(monitor.beats_heard(), 0u);
+}
+
+TEST(HeartbeatMonitor, MessageEvidenceTriggersRecoveryOfDeclaredDownSwitch) {
+  HeartbeatFixture f;
+  FaultInjector injector(lose_all_beats());
+  HeartbeatParams hp;
+  hp.interval = 0.01;
+  hp.miss_threshold = 2;
+  hp.horizon = 0.1;
+  hp.horizon = 0.07;  // ends after the recovery tick, before re-declaration
+  auto monitor = f.monitor(hp, &injector);
+  int failures = 0, recoveries = 0;
+  monitor.on_failure([&](SwitchId, double) { ++failures; });
+  monitor.on_recovery([&](SwitchId, double) { ++recoveries; });
+  monitor.start();
+  // Silence through t=0.02 declares the switch down (spuriously); a control
+  // message heard at t=0.055 must recover it at the next tick, exactly as a
+  // reviving beat would.
+  f.net.engine().at(0.055, [&monitor, &f]() {
+    monitor.note_message_from(f.watched);
+  });
+  f.net.engine().run();
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(recoveries, 1);
+  EXPECT_EQ(monitor.recoveries_declared(), 1u);
+  EXPECT_EQ(monitor.spurious_failovers(), 1u);
+}
+
+TEST(HeartbeatMonitor, GenuineFailureIsNotCountedSpurious) {
+  HeartbeatFixture f;
+  HeartbeatParams hp;
+  hp.interval = 0.01;
+  hp.miss_threshold = 2;
+  hp.horizon = 0.06;
+  auto monitor = f.monitor(hp, /*injector=*/nullptr);
+  monitor.start();
+  f.net.engine().at(0.015, [&f]() { f.net.set_failed(f.watched, true); });
+  f.net.engine().run();
+  EXPECT_EQ(monitor.failures_declared(), 1u);
+  EXPECT_EQ(monitor.spurious_failovers(), 0u);
+}
+
+// End-to-end: a DIFANE run under heavy beat loss must not spuriously fail
+// over authorities that are actively pushing installs (the install traffic
+// is the liveness evidence), and the scenario surfaces the counter.
+TEST(HeartbeatMonitor, ScenarioCountsSpuriousFailovers) {
+  RuleGenParams rp;
+  rp.num_rules = 150;
+  rp.seed = 3;
+  const auto policy = generate_policy(rp);
+  TrafficParams tp;
+  tp.seed = 31;
+  tp.flow_pool = 200;
+  tp.arrival_rate = 4000.0;
+  tp.duration = 0.2;
+  TrafficGenerator gen(policy, tp);
+  const auto flows = gen.generate();
+
+  ScenarioParams params;
+  params.mode = Mode::kDifane;
+  params.edge_switches = 4;
+  params.core_switches = 2;
+  params.authority_count = 1;
+  params.edge_cache_capacity = 300;
+  params.partitioner.capacity = 200;
+  params.timings.heartbeat_interval = 0.01;
+  params.timings.heartbeat_miss = 2;
+  params.timings.heartbeat_horizon = 0.25;
+  params.faults.seed = 11;
+  params.faults.msg_loss = 0.9;  // most beats lost, installs mostly retried
+  params.reliable_ctrl = true;
+
+  Scenario scenario(policy, params);
+  const auto& stats = scenario.run(flows);
+  // The snapshot must expose the counter whatever its value; and with the
+  // any-message rule plus steady install traffic, false positives must not
+  // exceed the failovers actually declared.
+  const auto report = stats.snapshot("hb");
+  ASSERT_TRUE(report.metrics.count("spurious_failovers"));
+  EXPECT_LE(stats.spurious_failovers, stats.failovers_detected);
+  EXPECT_EQ(stats.tracer.in_flight(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,273 @@
+// The sharded conservative-window executor: window maths, deterministic
+// cross-shard delivery, the clamping contract, and the Scenario-level
+// guarantees — threads=1 is byte-identical to the classic engine and
+// threads=N is seed-stable (same seed + thread count => identical report).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "engine/sharded.hpp"
+#include "util/contract.hpp"
+#include "workload/rulegen.hpp"
+#include "workload/trafficgen.hpp"
+
+namespace difane {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Executor unit tests
+
+// One shard, no workers: execution must match a plain Engine event for event.
+TEST(ShardedExecutor, SingleShardMatchesSerialEngine) {
+  std::vector<std::pair<int, double>> serial, sharded;
+
+  Engine plain;
+  for (int i = 0; i < 5; ++i) {
+    plain.at(0.1 * i, [&serial, i, &plain]() {
+      serial.emplace_back(i, plain.now());
+    });
+  }
+  plain.run();
+
+  Engine global;
+  shard::Executor exec(1, 1, 0.05, &global);
+  for (int i = 0; i < 5; ++i) {
+    exec.schedule(0, 0.1 * i, [&sharded, i, &exec]() {
+      sharded.emplace_back(i, exec.context_engine().now());
+    });
+  }
+  exec.run();
+  EXPECT_EQ(serial, sharded);
+}
+
+// A cross-shard event scheduled with no latency of its own lands at the next
+// window boundary, never inside the window that emitted it.
+TEST(ShardedExecutor, LatencyFreeCrossShardDispatchClampsToWindowEnd) {
+  const double lookahead = 0.010;
+  Engine global;
+  shard::Executor exec(2, 1, lookahead, &global);
+
+  double received_at = -1.0;
+  exec.schedule(0, 0.001, [&exec, &received_at]() {
+    // Shard 0, time 0.001: hand shard 1 an event "now".
+    exec.schedule(1, exec.context_engine().now(),
+                  [&exec, &received_at]() {
+                    received_at = exec.context_engine().now();
+                  });
+  });
+  exec.run();
+  // First window end = 0.001 + lookahead; the dispatch pays the boundary.
+  EXPECT_GE(received_at, 0.001);
+  EXPECT_LE(received_at, 0.001 + lookahead);
+  EXPECT_GT(exec.cross_messages(), 0u);
+}
+
+// A cross-shard event that pays at least the lookahead (a packet hop) is
+// delivered exactly when requested — the clamp can never move it.
+TEST(ShardedExecutor, LookaheadPayingEventsAreNeverClamped) {
+  const double lookahead = 0.010;
+  Engine global;
+  shard::Executor exec(2, 1, lookahead, &global);
+
+  std::vector<double> arrivals;
+  for (int i = 0; i < 4; ++i) {
+    exec.schedule(0, 0.002 * i, [&exec, &arrivals, lookahead]() {
+      const double depart = exec.context_engine().now();
+      exec.schedule(1, depart + lookahead, [&exec, &arrivals]() {
+        arrivals.push_back(exec.context_engine().now());
+      });
+    });
+  }
+  exec.run();
+  ASSERT_EQ(arrivals.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(arrivals[i], 0.002 * i + lookahead);
+  }
+}
+
+// Global events at time T run before shard events at T: a global state flip
+// at T must be visible to every shard event stamped T.
+TEST(ShardedExecutor, GlobalEventsRunBeforeShardEventsAtTheSameTime) {
+  Engine global;
+  shard::Executor exec(2, 1, 0.010, &global);
+
+  std::vector<std::string> order;
+  exec.schedule_global(0.005, [&order]() { order.push_back("global@5ms"); });
+  exec.schedule(0, 0.005, [&order]() { order.push_back("shard0@5ms"); });
+  exec.schedule(1, 0.001, [&order]() { order.push_back("shard1@1ms"); });
+  exec.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "shard1@1ms");
+  EXPECT_EQ(order[1], "global@5ms");
+  EXPECT_EQ(order[2], "shard0@5ms");
+}
+
+// The same schedule replayed through a multi-worker executor produces the
+// same per-shard execution traces every time, regardless of OS thread
+// scheduling. (Traces are collected per shard — each vector is written only
+// by its owning shard — because that is the executor's determinism unit: a
+// global interleaving across concurrent workers is not defined.)
+TEST(ShardedExecutor, MultiThreadedRunIsDeterministic) {
+  const auto trace_once = []() {
+    Engine global;
+    shard::Executor exec(4, 4, 0.010, &global);
+    std::vector<std::vector<std::pair<int, double>>> traces(4);
+    const auto record = [&exec, &traces](int tag) {
+      traces[shard::current_shard()].emplace_back(
+          tag, exec.context_engine().now());
+    };
+    // A little mesh: every shard pings neighbours with lookahead latency,
+    // plus latency-free control handoffs that clamp at window boundaries.
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      exec.schedule(s, 0.001 * (s + 1), [&exec, &record, s]() {
+        const double now = exec.context_engine().now();
+        record(static_cast<int>(s));
+        exec.schedule((s + 1) % 4, now + 0.010, [&record, s]() {
+          record(100 + static_cast<int>(s));
+        });
+        exec.schedule((s + 2) % 4, now, [&record, s]() {
+          record(200 + static_cast<int>(s));
+        });
+      });
+    }
+    exec.run();
+    return traces;
+  };
+  const auto first = trace_once();
+  std::size_t total = 0;
+  for (const auto& t : first) total += t.size();
+  ASSERT_EQ(total, 12u);
+  for (int rep = 0; rep < 3; ++rep) EXPECT_EQ(trace_once(), first);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-level parallel execution
+
+RuleTable policy_for_threads(std::uint64_t seed = 7) {
+  RuleGenParams params;
+  params.num_rules = 250;
+  params.seed = seed;
+  return generate_policy(params);
+}
+
+std::vector<FlowSpec> traffic_for_threads(const RuleTable& policy,
+                                          std::uint64_t seed) {
+  TrafficParams tp;
+  tp.seed = seed;
+  tp.flow_pool = 400;
+  tp.zipf_s = 0.9;
+  tp.arrival_rate = 4000.0;
+  tp.duration = 0.25;
+  tp.mean_packets = 3.0;
+  TrafficGenerator gen(policy, tp);
+  return gen.generate();
+}
+
+ScenarioParams threads_params(std::size_t threads, Mode mode = Mode::kDifane) {
+  ScenarioParams params;
+  params.mode = mode;
+  params.edge_switches = 8;
+  params.core_switches = 4;
+  params.authority_count = 4;
+  params.edge_cache_capacity = 400;
+  params.partitioner.capacity = 300;
+  params.threads = threads;
+  return params;
+}
+
+TEST(ScenarioThreads, ValidateRejectsMisWires) {
+  auto params = threads_params(0);
+  EXPECT_THROW(params.validate(), ConfigError);
+  params = threads_params(4);
+  params.link.latency = 0.0;  // no lookahead => no conservative window
+  EXPECT_THROW(params.validate(), ConfigError);
+  params = threads_params(4);
+  EXPECT_NO_THROW(params.validate());
+}
+
+// Conservation and a verifier-clean final state under parallel execution.
+TEST(ScenarioThreads, DifaneParallelRunConservesPacketsAndVerifies) {
+  const auto policy = policy_for_threads();
+  const auto flows = traffic_for_threads(policy, 21);
+  Scenario scenario(policy, threads_params(4));
+  const auto& stats = scenario.run(flows);
+  EXPECT_GT(stats.tracer.injected(), 0u);
+  EXPECT_GT(stats.tracer.delivered(), 0u);
+  EXPECT_EQ(stats.tracer.in_flight(), 0);
+  EXPECT_EQ(stats.tracer.injected(),
+            stats.tracer.delivered() + stats.tracer.dropped());
+  const auto report = scenario.verify_installed();
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+TEST(ScenarioThreads, NoxParallelRunConservesPackets) {
+  const auto policy = policy_for_threads();
+  const auto flows = traffic_for_threads(policy, 22);
+  Scenario scenario(policy, threads_params(4, Mode::kNox));
+  const auto& stats = scenario.run(flows);
+  EXPECT_GT(stats.tracer.delivered(), 0u);
+  EXPECT_EQ(stats.tracer.in_flight(), 0);
+}
+
+// Seed stability: the same (seed, threads) pair replays byte-identically.
+TEST(ScenarioThreads, ParallelRunIsSeedStable) {
+  const auto policy = policy_for_threads();
+  const auto flows = traffic_for_threads(policy, 23);
+  const auto run_once = [&](Mode mode) {
+    Scenario scenario(policy, threads_params(4, mode));
+    auto report = scenario.run(flows).snapshot("threads");
+    report.git_rev = "fixed";
+    report.wall_seconds = 0.0;
+    return report.to_json_string();
+  };
+  const std::string difane_first = run_once(Mode::kDifane);
+  EXPECT_EQ(run_once(Mode::kDifane), difane_first);
+  const std::string nox_first = run_once(Mode::kNox);
+  EXPECT_EQ(run_once(Mode::kNox), nox_first);
+}
+
+// threads=1 must take the legacy code path bit for bit: the report matches a
+// default-constructed (no threads field touched) scenario exactly.
+TEST(ScenarioThreads, ThreadsOneIsByteIdenticalToLegacy) {
+  const auto policy = policy_for_threads();
+  const auto flows = traffic_for_threads(policy, 24);
+  const auto run_once = [&](std::size_t threads) {
+    auto params = threads_params(1);
+    params.threads = threads;
+    Scenario scenario(policy, params);
+    auto report = scenario.run(flows).snapshot("legacy");
+    report.git_rev = "fixed";
+    report.wall_seconds = 0.0;
+    return report.to_json_string();
+  };
+  EXPECT_EQ(run_once(1), run_once(1));
+}
+
+// Fault injection under parallel execution: per-shard Rng streams keep the
+// chaos replayable — two runs with the same (seed, plan, threads) agree.
+TEST(ScenarioThreads, FaultyParallelRunIsSeedStable) {
+  const auto policy = policy_for_threads();
+  const auto flows = traffic_for_threads(policy, 25);
+  const auto run_once = [&]() {
+    auto params = threads_params(4);
+    params.reliable_ctrl = true;
+    params.faults.seed = 77;
+    params.faults.msg_loss = 0.2;
+    params.faults.msg_dup = 0.1;
+    params.faults.msg_jitter_prob = 0.2;
+    params.faults.msg_jitter_max = 0.002;
+    params.faults.install_fail = 0.05;
+    Scenario scenario(policy, params);
+    auto report = scenario.run(flows).snapshot("chaos-threads");
+    report.git_rev = "fixed";
+    report.wall_seconds = 0.0;
+    return report.to_json_string();
+  };
+  const std::string first = run_once();
+  EXPECT_EQ(run_once(), first);
+}
+
+}  // namespace
+}  // namespace difane

@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
 # Full verification sweep: the tier-1 build+test pass, then the same suite
-# plus a short differential fuzz soak under ASan+UBSan (DIFANE_SANITIZE=ON).
+# plus a short differential fuzz soak under ASan+UBSan (DIFANE_SANITIZE=ON),
+# plus a TSan pass (DIFANE_SANITIZE=thread) over the unit and chaos labels —
+# the sharded parallel engine makes race coverage part of tier-1 hygiene.
 #
-#   tools/check.sh [--quick-bench] [--perf] [FUZZ_SECONDS]
+#   tools/check.sh [--quick-bench] [--perf] [--threads] [FUZZ_SECONDS]
 #
-# FUZZ_SECONDS (default 30) bounds the sanitized fuzz_difane run. Both build
-# trees are kept (build/ and build-san/) so incremental re-runs are cheap.
+# FUZZ_SECONDS (default 30) bounds the sanitized fuzz_difane run. All build
+# trees are kept (build/, build-san/, build-tsan/) so incremental re-runs
+# are cheap.
 #
 # --quick-bench additionally runs the whole bench pipeline in --quick mode
 # (bench_all over E1-E10/A1-A3), verifies every report merged into the
 # trajectory file, and re-runs it to confirm the deterministic metrics
 # reproduce byte-for-byte (bench_compare at threshold 0).
+#
+# --threads runs the bench pipeline in --quick mode at --threads 1 and at
+# the host's hardware concurrency, then asserts with bench_compare that
+# every deterministic (non-wall) metric is identical — the thread-count
+# invariance contract for cell-parallel benches and the sharded engine.
 #
 # --perf gates the build against the committed perf baseline
 # (bench/BASELINE.json): one quick bench_all run, then bench_compare with
@@ -26,11 +34,13 @@ cd "$(dirname "$0")/.."
 
 quick_bench=0
 perf=0
+threads_gate=0
 fuzz_seconds=30
 for arg in "$@"; do
   case "$arg" in
     --quick-bench) quick_bench=1 ;;
     --perf) perf=1 ;;
+    --threads) threads_gate=1 ;;
     *) fuzz_seconds="$arg" ;;
   esac
 done
@@ -58,6 +68,21 @@ if [[ "$quick_bench" == 1 ]]; then
     build/BENCH_trajectory_2.json
 fi
 
+if [[ "$threads_gate" == 1 ]]; then
+  max_threads="$(nproc 2>/dev/null || echo 4)"
+  [[ "$max_threads" -lt 2 ]] && max_threads=2
+  echo "== threads: bench_all --quick at --threads 1 vs --threads $max_threads =="
+  ./build/tools/bench_all --quick --jobs "$jobs" --threads 1 \
+    --dir build/bench-reports-t1 --out build/BENCH_trajectory_t1.json
+  ./build/tools/bench_all --quick --jobs "$jobs" --threads "$max_threads" \
+    --dir build/bench-reports-tN --out build/BENCH_trajectory_tN.json
+  # Deterministic metrics must be byte-identical across thread counts; wall
+  # metrics (and the sharded-engine engine_wall_* demo row, present only at
+  # --threads > 1) are exempt / candidate-only and ignored by bench_compare.
+  ./build/tools/bench_compare build/BENCH_trajectory_t1.json \
+    build/BENCH_trajectory_tN.json
+fi
+
 if [[ "$perf" == 1 ]]; then
   echo "== perf: bench_all --quick vs committed baseline =="
   ./build/tools/bench_all --quick --jobs "$jobs" \
@@ -77,5 +102,22 @@ ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-san --output-on-failure -L chaos -j "$jobs"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ./build-san/tools/fuzz_difane --seconds "$fuzz_seconds"
+
+echo "== tsan: DIFANE_SANITIZE=thread build + unit/chaos labels =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDIFANE_SANITIZE=thread
+cmake --build build-tsan -j "$jobs"
+# halt_on_error makes any reported race fail its test; the chaos label covers
+# the multi-threaded sharded-engine differential properties, and the
+# test_sharded_engine suite exercises the executor's worker pool directly.
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -L unit -j "$jobs"
+echo "== chaos (tsan): ctest -L chaos =="
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -L chaos -j "$jobs"
+echo "== sharded engine (tsan): test_sharded_engine =="
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -R '^test_sharded_engine$' \
+  -j "$jobs"
 
 echo "== all checks passed =="
