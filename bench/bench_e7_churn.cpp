@@ -31,6 +31,25 @@ Rule random_rule(Rng& rng, RuleId id) {
   return r;
 }
 
+// One heavy-tail cache-churn row, measured with the elephant policy OFF and
+// ON. E7's angle (vs E6's hit-rate table) is the churn itself: how many TCAM
+// install writes the workload costs and how many of them are dead weight the
+// mice bypass could have skipped.
+struct ChurnRow {
+  const char* slug;
+  double alpha;
+  TrafficMode mode;
+};
+
+struct ChurnCell {
+  double hit_pct = 0.0;
+  double tcam_final = 0.0;
+  double installs = 0.0;
+  double churned = 0.0;  // install writes whose entry was gone at sample time
+  double bypassed = 0.0;
+  double promotions = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,6 +128,74 @@ int main(int argc, char** argv) {
                        TextTable::num(full_ms * 1000.0, 1) + " us"});
         std::printf("%s\n", table.render().c_str());
       }
+    }
+
+    // -----------------------------------------------------------------------
+    // Heavy-tail cache churn: the flow-level analogue of the policy churn
+    // above. Diurnal rotation and mice storms keep replacing the working set,
+    // so the cache pays install writes continuously; the elephant policy's
+    // mice bypass deletes the single-packet share of that churn outright and
+    // the probation leash returns unproven slots quickly. Metrics: hit rate,
+    // live TCAM entries at the end of the arrival window, total install
+    // writes, and churned = installs that were already gone again by sample
+    // time (the TCAM write amplification of the workload).
+    const std::vector<ChurnRow> churn_rows =
+        args.quick
+            ? std::vector<ChurnRow>{{"diurnal", 1.0, TrafficMode::kDiurnal}}
+            : std::vector<ChurnRow>{{"zipf_1_2", 1.2, TrafficMode::kPoissonZipf},
+                                    {"storm", 1.0, TrafficMode::kMiceStorm},
+                                    {"diurnal", 1.0, TrafficMode::kDiurnal}};
+    const double ht_duration = args.pick(1.2, 1.0);
+    const std::size_t ht_pool = 10000;
+    const double ht_rate = 20000.0;
+    const auto churn_policy = classbench_like(600, 31);
+    std::vector<ChurnCell> cells(churn_rows.size() * 2);
+    run_cells(args.threads, cells.size(), [&](std::size_t cell) {
+      const ChurnRow& cr = churn_rows[cell / 2];
+      const bool on = (cell % 2) == 1;
+      auto params = difane_params(2, CacheStrategy::kMicroflow, /*cache=*/512);
+      params.timings.cache_idle_timeout = 0.035;
+      params.elephants = elephant_policy(on);
+      params.occupancy_sample_at = ht_duration;
+      Scenario scenario(churn_policy, params);
+      TrafficGenerator gen(churn_policy,
+                           heavy_tail_params(rep.seed, cr.alpha, ht_rate,
+                                             ht_duration, ht_pool, cr.mode));
+      const auto& stats = scenario.run(gen.generate());
+      ChurnCell& out = cells[cell];
+      out.hit_pct = stats.cache_hit_fraction() * 100.0;
+      out.tcam_final = static_cast<double>(stats.cache_entries_final);
+      out.installs = static_cast<double>(stats.cache_rules_installed);
+      out.churned = out.installs > out.tcam_final ? out.installs - out.tcam_final
+                                                  : 0.0;
+      out.bypassed = static_cast<double>(stats.mice_bypassed);
+      out.promotions = static_cast<double>(stats.elephant_promotions);
+    });
+    TextTable churn_table({"workload", "policy", "hit%", "tcam live",
+                           "installs", "churned", "bypassed", "promotions"});
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const ChurnRow& cr = churn_rows[c / 2];
+      const bool on = (c % 2) == 1;
+      const ChurnCell& cell = cells[c];
+      const std::string suffix =
+          std::string("_elephant_") + (on ? "on" : "off") + "_" + cr.slug;
+      rep.set("hit_pct" + suffix, cell.hit_pct);
+      rep.set("tcam_final" + suffix, cell.tcam_final);
+      rep.set("tcam_installs" + suffix, cell.installs);
+      rep.set("tcam_churned" + suffix, cell.churned);
+      rep.set("bypass_mice" + suffix, cell.bypassed);
+      rep.set("promotions" + suffix, cell.promotions);
+      churn_table.add_row({cr.slug, on ? "elephant" : "plain",
+                           TextTable::num(cell.hit_pct, 1),
+                           TextTable::num(cell.tcam_final, 0),
+                           TextTable::num(cell.installs, 0),
+                           TextTable::num(cell.churned, 0),
+                           TextTable::num(cell.bypassed, 0),
+                           TextTable::num(cell.promotions, 0)});
+    }
+    if (rep.verbose) {
+      std::printf("heavy-tail cache churn (cache 512, base idle 35ms):\n%s\n",
+                  churn_table.render().c_str());
     }
   });
 }

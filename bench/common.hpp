@@ -236,6 +236,76 @@ inline std::vector<FlowSpec> zipf_traffic(const RuleTable& policy, double rate,
   return gen.generate();
 }
 
+// Heavy-tail workload for the elephant-aware rows (E6/E7): Zipf-α base
+// traffic, optionally shaped into a flash crowd, a port-scan mice storm, or
+// diurnal churn. Window positions scale with the duration so quick and full
+// runs exercise the same phases.
+//
+// Flows are long-lived and sparse: 40ms between packets, bounded-Pareto
+// sizes up to 200 packets. This is the regime the elephant policy targets —
+// an idle timeout below the packet gap drops the entry between packets of
+// the SAME flow, so a plain cache pays a miss per packet on every flow the
+// timeout cannot bridge, while detected elephants ride a pin that does.
+inline TrafficParams heavy_tail_params(std::uint64_t seed, double alpha,
+                                       double rate, double duration,
+                                       std::size_t pool, TrafficMode mode) {
+  TrafficParams tp;
+  tp.seed = seed;
+  tp.flow_pool = pool;
+  tp.zipf_s = alpha;
+  tp.arrival_rate = rate;
+  tp.duration = duration;
+  tp.mean_packets = 4.0;
+  tp.max_packets = 200.0;
+  tp.packet_gap = 0.04;
+  tp.ingress_count = 2;
+  tp.mode = mode;
+  switch (mode) {
+    case TrafficMode::kPoissonZipf:
+      break;
+    case TrafficMode::kFlashCrowd:
+      tp.flash_at = 0.4 * duration;
+      tp.flash_duration = 0.2 * duration;
+      tp.flash_rate_mult = 8.0;
+      tp.flash_targets = 6;
+      tp.flash_target_prob = 0.9;
+      break;
+    case TrafficMode::kMiceStorm:
+      tp.storm_at = 0.4 * duration;
+      tp.storm_duration = 0.3 * duration;
+      tp.storm_rate = 1.5 * rate;
+      break;
+    case TrafficMode::kDiurnal:
+      tp.diurnal_period = duration / 3.0;
+      tp.diurnal_amplitude = 0.8;
+      tp.diurnal_rotate = pool / 8;
+      break;
+  }
+  return tp;
+}
+
+// The elephant-policy configuration the heavy-tail rows measure (ON) against
+// the plain short-timeout cache (OFF). Shared so E6 and E7 gate the same
+// policy point.
+inline ElephantParams elephant_policy(bool on) {
+  ElephantParams e;
+  e.enabled = on;
+  // The tracker must out-size the warm header working set or mid-band flows
+  // get evicted between visits and never accumulate a guaranteed count.
+  e.tracker_capacity = 2048;
+  e.threshold = 8;
+  // Differentiated leashes against the 35ms base the OFF rows run with: a
+  // proven elephant's pin (45ms) bridges the workload's 40ms packet gap, so
+  // a long flow stops paying a miss per packet; unproven flows get a 5ms
+  // leash that covers nothing but an immediate burst.
+  e.idle_timeout = 0.045;
+  e.probation_idle_timeout = 0.005;
+  e.proactive = true;
+  e.mice_bypass = on;
+  e.mice_min_packets = 2;
+  return e;
+}
+
 inline ScenarioParams difane_params(std::uint32_t authorities,
                                     CacheStrategy strategy,
                                     std::size_t cache_capacity = 1u << 20) {

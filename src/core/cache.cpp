@@ -15,6 +15,25 @@ const char* cache_strategy_name(CacheStrategy strategy) {
   return "?";
 }
 
+const char* install_class_name(InstallClass cls) {
+  switch (cls) {
+    case InstallClass::kNormal: return "normal";
+    case InstallClass::kElephant: return "elephant";
+    case InstallClass::kBypass: return "bypass";
+  }
+  return "?";
+}
+
+InstallClass classify_install(const ElephantParams& params,
+                              std::uint64_t guaranteed_packets) {
+  if (!params.enabled) return InstallClass::kNormal;
+  if (guaranteed_packets >= params.threshold) return InstallClass::kElephant;
+  if (params.mice_bypass && guaranteed_packets < params.mice_min_packets) {
+    return InstallClass::kBypass;
+  }
+  return InstallClass::kNormal;
+}
+
 CacheRuleGenerator::CacheRuleGenerator(const Partition& partition,
                                        SwitchId authority_switch,
                                        CacheStrategy strategy, RuleId synth_id_base,

@@ -45,6 +45,58 @@ struct CacheInstall {
   std::vector<Rule> rules;
 };
 
+// Elephant-aware install policy. The measurement literature (FDRC, the
+// elephant-detection study in PAPERS.md) shows cache benefit concentrates in
+// a few heavy flows while one-packet mice only churn TCAM entries; these
+// knobs let the authority spend its ingress budget accordingly. Detection
+// runs per authority switch on a space-saving summary (obs/heavy_hitter.hpp)
+// fed by redirected-packet misses, and classification uses the summary's
+// *guaranteed* (lower-bound) count so sketch overestimation can never
+// promote a mouse.
+struct ElephantParams {
+  bool enabled = false;
+  // Slots in each authority's space-saving summary (k in the N/k bound).
+  std::size_t tracker_capacity = 256;
+  // Guaranteed miss-packet count at which a flow becomes an elephant; its
+  // cache entries then get `idle_timeout` instead of the base cache timeout.
+  std::uint64_t threshold = 8;
+  double idle_timeout = 60.0;
+  // Probation: idle timeout for installs that have NOT (yet) reached the
+  // elephant threshold — the short leash that keeps unproven flows from
+  // squatting on TCAM slots between visits. 0 means "inherit the base
+  // cache_idle_timeout" (probation off).
+  double probation_idle_timeout = 0.0;
+  // Proactive install: the moment a flow crosses the elephant threshold,
+  // push its cache rules to EVERY edge switch (not just the ingress whose
+  // packet triggered the promotion). An elephant's flows arrive at many
+  // ingresses; pre-seeding converts each ingress's cold-start miss into a
+  // hit, and since those entries would have been installed on first contact
+  // anyway, steady-state occupancy is unchanged — only the misses go away.
+  bool proactive = true;
+  // Mice bypass: skip the cache install entirely until a flow has proven it
+  // returns (guaranteed count >= mice_min_packets), so one-packet flows
+  // never consume a TCAM slot. Costs exactly one extra redirect per
+  // multi-packet flow; correctness is untouched (the redirect path is
+  // always available).
+  bool mice_bypass = false;
+  std::uint64_t mice_min_packets = 2;
+};
+
+// What the policy decided for one redirected packet's would-be install.
+enum class InstallClass : std::uint8_t {
+  kNormal = 0,   // install with the base cache idle timeout
+  kElephant,     // install with ElephantParams::idle_timeout
+  kBypass,       // skip the install (mouse, not yet proven to return)
+};
+
+const char* install_class_name(InstallClass cls);
+
+// Classify from the tracker's guaranteed (lower-bound) packet count for the
+// flow, sampled *after* offering the current packet. Disabled params always
+// yield kNormal.
+InstallClass classify_install(const ElephantParams& params,
+                              std::uint64_t guaranteed_packets);
+
 // Generates cache rules for one partition. Owns the partition's dependency
 // graph (built lazily on first use) and an id allocator for synthesized
 // shadow/microflow rules.

@@ -16,7 +16,16 @@ struct Marginal {
   std::vector<std::uint32_t> new_rules;  // rules that would newly be cached
 };
 
-Marginal marginal_dependent(const RuleTable& table, const DependencyGraph& graph,
+// Rule weight for the greedy's gain: the measured vector when one was
+// supplied (the elephant-aware path), the table's static annotation
+// otherwise.
+double rule_weight(const RuleTable& table, const double* weights,
+                   std::uint32_t idx) {
+  return weights != nullptr ? weights[idx] : table.at(idx).weight;
+}
+
+Marginal marginal_dependent(const RuleTable& table, const double* weights,
+                            const DependencyGraph& graph,
                             const std::vector<bool>& cached, std::uint32_t idx) {
   Marginal m;
   if (!cached[idx]) {
@@ -26,11 +35,12 @@ Marginal marginal_dependent(const RuleTable& table, const DependencyGraph& graph
     if (!cached[anc]) m.new_rules.push_back(anc);
   }
   m.cost = m.new_rules.size();
-  for (const auto r : m.new_rules) m.gain += table.at(r).weight;
+  for (const auto r : m.new_rules) m.gain += rule_weight(table, weights, r);
   return m;
 }
 
-Marginal marginal_cover(const RuleTable& table, const DependencyGraph& graph,
+Marginal marginal_cover(const RuleTable& table, const double* weights,
+                        const DependencyGraph& graph,
                         const std::vector<bool>& cached,
                         const std::vector<bool>& shadowed, std::uint32_t idx) {
   Marginal m;
@@ -46,21 +56,26 @@ Marginal marginal_cover(const RuleTable& table, const DependencyGraph& graph,
   // shadow would otherwise outrank the cached copy and bounce its traffic),
   // freeing one entry.
   if (shadowed[idx] && m.cost > 0) --m.cost;
-  m.gain = table.at(idx).weight;
+  m.gain = rule_weight(table, weights, idx);
   return m;
 }
 
-}  // namespace
-
-CachePlan plan_cache(const RuleTable& table, const DependencyGraph& graph,
-                     CacheStrategy strategy, std::size_t budget) {
+CachePlan plan_cache_impl(const RuleTable& table, const DependencyGraph& graph,
+                          CacheStrategy strategy, std::size_t budget,
+                          const double* weights) {
   expects(strategy == CacheStrategy::kDependentSet ||
               strategy == CacheStrategy::kCoverSet,
           "plan_cache: strategy must be dependent-set or cover-set");
   expects(graph.size() == table.size(), "plan_cache: graph/table size mismatch");
 
   CachePlan plan;
-  plan.total_weight = table.total_weight();
+  if (weights != nullptr) {
+    for (std::uint32_t idx = 0; idx < table.size(); ++idx) {
+      plan.total_weight += weights[idx];
+    }
+  } else {
+    plan.total_weight = table.total_weight();
+  }
   std::vector<bool> cached(table.size(), false);
   std::vector<bool> shadowed(table.size(), false);
 
@@ -78,8 +93,8 @@ CachePlan plan_cache(const RuleTable& table, const DependencyGraph& graph,
       if (cached[idx]) continue;
       const Marginal m =
           strategy == CacheStrategy::kDependentSet
-              ? marginal_dependent(table, graph, cached, idx)
-              : marginal_cover(table, graph, cached, shadowed, idx);
+              ? marginal_dependent(table, weights, graph, cached, idx)
+              : marginal_cover(table, weights, graph, cached, shadowed, idx);
       if (m.cost > budget - plan.entries_used) continue;
       // A zero-cost selection is a free upgrade (shadow -> terminal copy):
       // infinite gain ratio, take it before anything that spends entries.
@@ -113,6 +128,33 @@ CachePlan plan_cache(const RuleTable& table, const DependencyGraph& graph,
     }
   }
   return plan;
+}
+
+}  // namespace
+
+CachePlan plan_cache(const RuleTable& table, const DependencyGraph& graph,
+                     CacheStrategy strategy, std::size_t budget) {
+  return plan_cache_impl(table, graph, strategy, budget, nullptr);
+}
+
+CachePlan plan_cache(const RuleTable& table, const DependencyGraph& graph,
+                     CacheStrategy strategy, std::size_t budget,
+                     const std::vector<double>& weights) {
+  expects(weights.size() == table.size(),
+          "plan_cache: one measured weight per table rule");
+  return plan_cache_impl(table, graph, strategy, budget, weights.data());
+}
+
+std::vector<double> elephant_rule_weights(
+    const RuleTable& table,
+    const std::vector<std::pair<BitVec, std::uint64_t>>& heavy_flows) {
+  std::vector<double> weights(table.size(), 0.0);
+  for (const auto& [header, count] : heavy_flows) {
+    if (const auto idx = table.match_index(header); idx.has_value()) {
+      weights[*idx] += static_cast<double>(count);
+    }
+  }
+  return weights;
 }
 
 std::vector<Rule> materialize_plan(const RuleTable& table, const DependencyGraph& graph,

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/cache.hpp"
@@ -36,6 +37,23 @@ struct CachePlan {
 // entries are per-flow, not per-rule).
 CachePlan plan_cache(const RuleTable& table, const DependencyGraph& graph,
                      CacheStrategy strategy, std::size_t budget);
+
+// Same greedy, but driven by externally *measured* per-rule weights (one per
+// table index) instead of the table's static weight annotations — the
+// planner half of elephant-aware caching: feed it elephant_rule_weights()
+// from an authority's heavy-hitter summary to pre-warm the ingress cache
+// with what traffic actually hit, not what the policy author guessed.
+CachePlan plan_cache(const RuleTable& table, const DependencyGraph& graph,
+                     CacheStrategy strategy, std::size_t budget,
+                     const std::vector<double>& weights);
+
+// Fold measured heavy flows — (header, estimated packet count) pairs, e.g.
+// SpaceSaving::entries() from an authority tracker — onto the policy rules
+// that win them. Returns one weight per table index; flows are attributed to
+// their match_index winner (unmatched headers contribute nothing).
+std::vector<double> elephant_rule_weights(
+    const RuleTable& table,
+    const std::vector<std::pair<BitVec, std::uint64_t>>& heavy_flows);
 
 // Materialize the plan as installable cache rules (shadows redirect to
 // `authority_switch`; synthetic ids from `synth_id_base`).

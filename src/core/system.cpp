@@ -87,6 +87,45 @@ void ScenarioParams::validate() const {
                         "the end of injected traffic)");
     }
   }
+  if (elephants.enabled) {
+    if (mode != Mode::kDifane) {
+      throw ConfigError("elephants.enabled",
+                        "elephant-aware caching runs on DIFANE authority "
+                        "switches; NOX mode has no authority miss stream to "
+                        "feed the tracker");
+    }
+    if (cache_strategy == CacheStrategy::kNone) {
+      throw ConfigError("elephants.enabled",
+                        "elephant-aware caching (and mice bypass) modulates "
+                        "cache installs; CacheStrategy::kNone never installs "
+                        "anything to modulate");
+    }
+    if (elephants.tracker_capacity == 0) {
+      throw ConfigError("elephants.tracker_capacity",
+                        "a zero-slot space-saving summary can track nothing");
+    }
+    if (elephants.threshold == 0) {
+      throw ConfigError("elephants.threshold",
+                        "a zero threshold promotes every flow to elephant on "
+                        "its first miss; use threshold >= 1");
+    }
+    if (elephants.idle_timeout <= 0.0) {
+      throw ConfigError("elephants.idle_timeout",
+                        "elephant idle timeout must be > 0 (0 means 'never "
+                        "expire' at the flow table, which is spelled via the "
+                        "base cache_idle_timeout, not here)");
+    }
+    if (elephants.mice_bypass && elephants.mice_min_packets < 2) {
+      throw ConfigError("elephants.mice_min_packets",
+                        "mice bypass needs a returning-flow bar of at least 2 "
+                        "packets; 0/1 would bypass nothing");
+    }
+    if (elephants.probation_idle_timeout < 0.0) {
+      throw ConfigError("elephants.probation_idle_timeout",
+                        "probation idle timeout must be >= 0 (0 inherits the "
+                        "base cache_idle_timeout)");
+    }
+  }
   if (threads == 0) {
     throw ConfigError("threads", "need at least one worker thread");
   }
@@ -164,6 +203,10 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
         authority_queues_.emplace(
             sw, ServiceQueue(params_.timings.authority_service,
                              params_.timings.authority_backlog_max));
+        if (params_.elephants.enabled) {
+          elephant_trackers_.emplace(
+              sw, obs::SpaceSaving<BitVec>(params_.elephants.tracker_capacity));
+        }
       }
       break;
     }
@@ -283,6 +326,11 @@ void ScenarioStats::merge_from(const ScenarioStats& other) {
   cache_installs += other.cache_installs;
   cache_rules_installed += other.cache_rules_installed;
   cache_hit_mismatches += other.cache_hit_mismatches;
+  elephant_promotions += other.elephant_promotions;
+  elephant_installs += other.elephant_installs;
+  elephant_proactive += other.elephant_proactive;
+  mice_bypassed += other.mice_bypassed;
+  cache_entries_final += other.cache_entries_final;
   stretch.merge_from(other.stretch);
   setup_completions.merge_from(other.setup_completions);
   ctrl_transmissions += other.ctrl_transmissions;
@@ -349,6 +397,12 @@ void Scenario::crash_authority(SwitchId sw) {
   table.clear_band(Band::kCache);
   table.clear_band(Band::kAuthority);
   table.clear_band(Band::kPartition);
+  // The heavy-hitter summary is soft state on the switch: it reboots empty,
+  // so a restarted authority re-detects its elephants from scratch (the
+  // chaos suite pins this re-detection behaviour).
+  if (const auto it = elephant_trackers_.find(sw); it != elephant_trackers_.end()) {
+    it->second.reset();
+  }
   ++stats_.authority_crashes;
   log_info("authority switch ", sw, " crashed at t=", net_.engine().now());
 }
@@ -395,6 +449,11 @@ obs::MetricsReport ScenarioStats::snapshot(const std::string& experiment) const 
   report.set("cache_rules_installed", static_cast<double>(cache_rules_installed));
   report.set("cache_hit_mismatches", static_cast<double>(cache_hit_mismatches));
   report.set("cache_hit_fraction", cache_hit_fraction());
+  report.set("elephant_promotions", static_cast<double>(elephant_promotions));
+  report.set("elephant_installs", static_cast<double>(elephant_installs));
+  report.set("elephant_proactive", static_cast<double>(elephant_proactive));
+  report.set("mice_bypassed", static_cast<double>(mice_bypassed));
+  report.set("cache_entries_final", static_cast<double>(cache_entries_final));
   if (stretch.count() > 0) {
     report.set("stretch_p50", stretch.percentile(0.50));
     report.set("stretch_p99", stretch.percentile(0.99));
@@ -433,7 +492,28 @@ std::vector<FlowStatsEntry> Scenario::query_flow_stats() const {
   return merge_stats(per_switch);
 }
 
+// Live (unexpired) cache-band entries across the edge at time `now` — the
+// TCAM footprint a dump would show. Read-only walk (lookup() would sweep
+// lazily-expired slots and mutate).
+std::uint64_t Scenario::live_cache_entries(double now) const {
+  std::uint64_t live = 0;
+  for (const SwitchId e : topo_.edge) {
+    for (const auto& entry : net_.sw(e).table().entries(Band::kCache)) {
+      if (!entry.expired(now)) ++live;
+    }
+  }
+  return live;
+}
+
 const ScenarioStats& Scenario::run(const std::vector<FlowSpec>& flows) {
+  // Occupancy sample, if requested: a global event (under the sharded
+  // executor globals run at window barriers with the workers paused, so the
+  // cross-shard table read is race-free — the crash_authority pattern).
+  if (params_.occupancy_sample_at >= 0.0) {
+    net_.engine().at(params_.occupancy_sample_at, [this]() {
+      stats_.cache_entries_final = live_cache_entries(net_.engine().now());
+    });
+  }
   for (const auto& flow : flows) inject(flow);
   if (exec_ != nullptr) {
     // Routes must exist before shard threads read next_hop() concurrently;
@@ -447,6 +527,9 @@ const ScenarioStats& Scenario::run(const std::vector<FlowSpec>& flows) {
   }
   ensures(stats_.tracer.in_flight() == 0,
           "Scenario: packets unaccounted for after the run");
+  if (params_.occupancy_sample_at < 0.0) {
+    stats_.cache_entries_final = live_cache_entries(net_.engine().now());
+  }
   collect_fault_stats();
   return stats_;
 }
@@ -614,18 +697,72 @@ void Scenario::handle_authority(SwitchId at, Packet pkt) {
       dispose(pkt, false, DropReason::kUnreachable);
       return;
     }
-    if (!result->install.rules.empty() && pkt.ingress != at) {
+    // Elephant-aware install policy: feed this miss into the authority's
+    // heavy-hitter summary, then classify on the *guaranteed* (lower-bound)
+    // count so sketch overestimation never promotes a mouse. Runs on the
+    // authority's owning shard, so the summary needs no locking.
+    double idle_timeout = params_.timings.cache_idle_timeout;
+    bool bypass = false;
+    bool promoted = false;
+    const bool installable = !result->install.rules.empty() && pkt.ingress != at;
+    if (params_.elephants.enabled) {
+      if (params_.elephants.probation_idle_timeout > 0.0) {
+        idle_timeout = params_.elephants.probation_idle_timeout;
+      }
+      auto& tracker = elephant_trackers_.find(at)->second;
+      const std::uint64_t before = tracker.guaranteed(pkt.header);
+      tracker.offer(pkt.header);
+      switch (classify_install(params_.elephants,
+                               tracker.guaranteed(pkt.header))) {
+        case InstallClass::kElephant:
+          idle_timeout = params_.elephants.idle_timeout;
+          if (before < params_.elephants.threshold) {
+            ++st().elephant_promotions;
+            promoted = true;
+          }
+          if (installable) ++st().elephant_installs;
+          break;
+        case InstallClass::kBypass:
+          bypass = true;
+          if (installable) ++st().mice_bypassed;
+          break;
+        case InstallClass::kNormal:
+          break;
+      }
+    }
+    if (installable && !bypass) {
       if (exec_ == nullptr) {
-        install_cache(pkt.ingress, at, result->install);
+        install_cache(pkt.ingress, at, result->install, idle_timeout);
       } else {
         // The ingress's channel lives on the ingress's shard engine; hop the
         // install there (it crosses the window boundary, so threads > 1 pays
         // the documented clamp on this latency-free control dispatch).
         const SwitchId ingress = pkt.ingress;
         exec_->schedule(shard_of_[ingress], cur_engine().now(),
-                        [this, ingress, at, install = result->install]() {
-                          install_cache(ingress, at, install);
+                        [this, ingress, at, install = result->install,
+                         idle_timeout]() {
+                          install_cache(ingress, at, install, idle_timeout);
                         });
+      }
+      // Proactive install: a freshly promoted elephant's flows arrive at
+      // many ingresses; pre-seed every other edge now so each one's
+      // cold-start miss becomes a hit. These entries would have been
+      // installed on first contact anyway — this moves the install earlier,
+      // it does not grow the steady-state footprint.
+      if (promoted && params_.elephants.proactive) {
+        for (const SwitchId edge : topo_.edge) {
+          if (edge == pkt.ingress) continue;
+          ++st().elephant_proactive;
+          if (exec_ == nullptr) {
+            install_cache(edge, at, result->install, idle_timeout);
+          } else {
+            exec_->schedule(shard_of_[edge], cur_engine().now(),
+                            [this, edge, at, install = result->install,
+                             idle_timeout]() {
+                              install_cache(edge, at, install, idle_timeout);
+                            });
+          }
+        }
       }
     }
     if (result->winner == nullptr) {
@@ -645,7 +782,7 @@ void Scenario::handle_authority(SwitchId at, Packet pkt) {
 }
 
 void Scenario::install_cache(SwitchId ingress, SwitchId from_authority,
-                             const CacheInstall& install) {
+                             const CacheInstall& install, double idle_timeout) {
   // A group that cannot fit would evict its own members while installing,
   // leaving an unprotected rule behind; skip it (the flow keeps taking the
   // redirect path, which is always correct).
@@ -680,7 +817,7 @@ void Scenario::install_cache(SwitchId ingress, SwitchId from_authority,
     mod.op = FlowModOp::kAdd;
     mod.band = Band::kCache;
     mod.rule = ordered[i];
-    mod.idle_timeout = params_.timings.cache_idle_timeout;
+    mod.idle_timeout = idle_timeout;
     // Every earlier (higher-priority) group member protects this one: if any
     // of them leaves the cache, this entry must leave too. Redirect entries
     // are self-safe and guard nothing of their own.

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "controller/nox.hpp"
+#include "core/cache.hpp"
 #include "core/difane_controller.hpp"
 #include "core/verifier.hpp"
 #include "ctrlchan/channel.hpp"
@@ -19,6 +20,7 @@
 #include "faults/injector.hpp"
 #include "faults/plan.hpp"
 #include "netsim/tracer.hpp"
+#include "obs/heavy_hitter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "workload/trafficgen.hpp"
@@ -103,6 +105,20 @@ struct ScenarioParams {
   // identical params reproduces a byte-identical report.
   FaultPlan faults;
 
+  // Elephant-aware install policy (DIFANE mode with an installing cache
+  // strategy only; validate() rejects other combinations). Each authority
+  // switch runs a deterministic space-saving heavy-hitter summary over its
+  // redirected-miss stream and classifies every would-be install as
+  // elephant (longer idle timeout), normal, or mouse (bypassed entirely).
+  ElephantParams elephants;
+
+  // When >= 0, ScenarioStats::cache_entries_final is sampled at this sim
+  // time (a global event; scheduled by run()) instead of at the end of the
+  // drained run. The drain tail of a long-lived flow can outlast every idle
+  // timeout, so "live entries at the end of arrivals" is usually the
+  // occupancy number an experiment wants.
+  double occupancy_sample_at = -1.0;
+
   // Worker threads for the sharded parallel engine. 1 (the default) runs the
   // classic single-threaded event loop — byte-identical to previous
   // releases. N > 1 partitions the switches into per-authority-serving-set
@@ -130,6 +146,14 @@ struct ScenarioStats {
   std::uint64_t cache_installs = 0;       // install messages sent to ingresses
   std::uint64_t cache_rules_installed = 0;
   std::uint64_t cache_hit_mismatches = 0; // verify_cache_hits violations
+  // Elephant-aware install policy accounting (all zero with the policy off).
+  std::uint64_t elephant_promotions = 0;  // flows that crossed the threshold
+  std::uint64_t elephant_installs = 0;    // installs sent with the long timeout
+  std::uint64_t elephant_proactive = 0;   // promotion-time pre-seeds of other edges
+  std::uint64_t mice_bypassed = 0;        // installs skipped by mice bypass
+  // Live (unexpired) cache-band entries across the edge at the end of run():
+  // the TCAM footprint the run leaves behind. Computed by run(), not merged.
+  std::uint64_t cache_entries_final = 0;
   SampleSet stretch;                      // delivered first packets: hops / shortest
   RateMeter setup_completions;            // first-packet dispositions per second
 
@@ -229,7 +253,10 @@ class Scenario {
   void forward_hop(SwitchId at, SwitchId toward_neighbor_of, Packet pkt);
   void dispose(const Packet& pkt, bool delivered, DropReason reason);
   void install_cache(SwitchId ingress, SwitchId from_authority,
-                     const CacheInstall& install);
+                     const CacheInstall& install, double idle_timeout);
+  // Live (unexpired) cache-band entries across the edge at sim time `now`.
+  // Read-only walk — lookup() would sweep lazily-expired slots and mutate.
+  std::uint64_t live_cache_entries(double now) const;
   void build_shards();
   void merge_shard_stats();
 
@@ -266,6 +293,12 @@ class Scenario {
   std::unique_ptr<DifaneController> difane_;
   std::unique_ptr<NoxControlPlane> nox_;
   std::unordered_map<SwitchId, ServiceQueue> authority_queues_;
+  // Heavy-hitter summary per authority switch (elephants.enabled only).
+  // Touched exclusively from that authority's resolve handler, which the
+  // sharded executor runs on the authority's owning shard — no locking
+  // needed. The summary is control state on the switch: crash_authority()
+  // resets it, so a restarted authority must re-detect its elephants.
+  std::unordered_map<SwitchId, obs::SpaceSaving<BitVec>> elephant_trackers_;
   // One control agent per switch; installs ride ControlChannels so they pay
   // propagation latency plus the switch's flow-mod apply cost, in order.
   std::vector<std::unique_ptr<SwitchAgent>> agents_;

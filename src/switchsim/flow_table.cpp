@@ -175,6 +175,29 @@ void FlowTable::erase_entry(std::uint32_t slot, Band band) {
 bool FlowTable::install(const Rule& rule, Band band, double now, double idle_timeout,
                         double hard_timeout, std::vector<RuleId> guards) {
   BandState& bs = bands_[index(band)];
+  // Group safety under heterogeneous idle timeouts (the elephant policy
+  // installs the same protector rule from groups with different leashes): a
+  // dependent must never be configured to outlive a guard, or the window
+  // between the guard's lazy expiry and the next sweep exposes the dependent
+  // as an unguarded — mis-forwarding — match. Cap the dependent's idle
+  // budget at the tightest guard's remaining lifetime. With uniform
+  // timeouts (every pre-elephant configuration) guards are refreshed in the
+  // same group an instant earlier, the cap equals the requested timeout,
+  // and behaviour is byte-identical to before.
+  if (band == Band::kCache && !guards.empty() && idle_timeout != 0.0) {
+    for (const RuleId g : guards) {
+      const auto git = bs.by_id.find(g);
+      if (git == bs.by_id.end()) continue;
+      const FlowEntry& ge = slab_[git->second];
+      if (ge.idle_timeout <= 0.0) continue;  // guard never idles out
+      const double remaining = ge.last_hit + ge.idle_timeout - now;
+      if (remaining < idle_timeout) {
+        // A guard that is already past due still caps (a vanishingly short
+        // timeout, not zero: zero would mean "never expires").
+        idle_timeout = std::max(remaining, 1e-9);
+      }
+    }
+  }
   // Same-id reinstall refreshes the entry in place (counters survive). The
   // entry keeps its band position even when the refresh changes the
   // priority — exactly what the old in-place vector refresh did — so only a
@@ -191,6 +214,18 @@ bool FlowTable::install(const Rule& rule, Band band, double now, double idle_tim
     }
     e.rule = rule;
     e.install_time = now;
+    // The dual of the guard cap above: an entry other live cache entries
+    // depend on must not have its timeout shortened by a refresh from a
+    // colder group — its dependents would outlive it. 0 means "never idles
+    // out" and wins outright.
+    if (band == Band::kCache && dependents_.find(rule.id) != dependents_.end() &&
+        e.idle_timeout != idle_timeout) {
+      if (e.idle_timeout <= 0.0 || idle_timeout <= 0.0) {
+        idle_timeout = 0.0;
+      } else {
+        idle_timeout = std::max(e.idle_timeout, idle_timeout);
+      }
+    }
     e.idle_timeout = idle_timeout;
     e.hard_timeout = hard_timeout;
     e.last_hit = now;

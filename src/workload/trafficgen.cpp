@@ -1,11 +1,22 @@
 #include "workload/trafficgen.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <mutex>
 
 #include "util/contract.hpp"
 
 namespace difane {
+
+const char* traffic_mode_name(TrafficMode mode) {
+  switch (mode) {
+    case TrafficMode::kPoissonZipf: return "poisson-zipf";
+    case TrafficMode::kFlashCrowd: return "flash-crowd";
+    case TrafficMode::kMiceStorm: return "mice-storm";
+    case TrafficMode::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -92,6 +103,30 @@ TrafficGenerator::TrafficGenerator(const RuleTable& policy, TrafficParams params
   expects(params_.flow_pool >= 1, "TrafficGenerator: empty flow pool");
   expects(params_.arrival_rate > 0.0 && params_.duration > 0.0,
           "TrafficGenerator: bad rate/duration");
+  switch (params_.mode) {
+    case TrafficMode::kPoissonZipf:
+      break;
+    case TrafficMode::kFlashCrowd:
+      expects(params_.flash_duration >= 0.0 && params_.flash_at >= 0.0,
+              "TrafficGenerator: flash window must be non-negative");
+      expects(params_.flash_rate_mult >= 1.0,
+              "TrafficGenerator: flash_rate_mult must be >= 1");
+      expects(params_.flash_targets >= 1,
+              "TrafficGenerator: flash crowd needs a target set");
+      expects(params_.flash_target_prob >= 0.0 && params_.flash_target_prob <= 1.0,
+              "TrafficGenerator: flash_target_prob must be a probability");
+      break;
+    case TrafficMode::kMiceStorm:
+      expects(params_.storm_duration <= 0.0 || params_.storm_rate > 0.0,
+              "TrafficGenerator: a mice storm window needs storm_rate > 0");
+      break;
+    case TrafficMode::kDiurnal:
+      expects(params_.diurnal_period > 0.0,
+              "TrafficGenerator: diurnal_period must be > 0");
+      expects(params_.diurnal_amplitude >= 0.0 && params_.diurnal_amplitude < 1.0,
+              "TrafficGenerator: diurnal_amplitude must be in [0, 1)");
+      break;
+  }
   const PoolKey key{params_.seed, params_.flow_pool, params_.p_rule_directed,
                     policy_pool_digest(policy_), policy_.size()};
   std::lock_guard<std::mutex> lock(g_pool_cache_mu);
@@ -123,6 +158,33 @@ void TrafficGenerator::build_pool() {
 }
 
 std::vector<FlowSpec> TrafficGenerator::generate() {
+  switch (params_.mode) {
+    case TrafficMode::kPoissonZipf: return generate_poisson_zipf();
+    case TrafficMode::kFlashCrowd: return generate_flash_crowd();
+    case TrafficMode::kMiceStorm: return generate_mice_storm();
+    case TrafficMode::kDiurnal: return generate_diurnal();
+  }
+  return {};
+}
+
+// Flow length and ingress draws shared by every mode, in the legacy draw
+// order (length, then ingress) — kPoissonZipf must stay draw-for-draw
+// identical to previous releases (committed baselines pin its output).
+void TrafficGenerator::finish_flow(FlowSpec& flow) {
+  if (params_.max_packets <= 1.0) {
+    flow.packets = 1;  // degenerate case: pure flow-setup workloads
+  } else {
+    const double len = rng_.pareto(1.0, params_.max_packets, params_.pareto_alpha);
+    // Scale bounded-Pareto output toward the requested mean.
+    const double scale = params_.mean_packets / 3.0;  // rough E[pareto(1,..,1.5)]
+    flow.packets = static_cast<std::size_t>(std::max(1.0, len * scale));
+  }
+  flow.packet_gap = params_.packet_gap;
+  flow.ingress_index = static_cast<std::uint32_t>(
+      rng_.uniform(0, params_.ingress_count == 0 ? 0 : params_.ingress_count - 1));
+}
+
+std::vector<FlowSpec> TrafficGenerator::generate_poisson_zipf() {
   std::vector<FlowSpec> flows;
   const std::vector<BitVec>& pool = *pool_;
   ZipfDistribution zipf(pool.size(), params_.zipf_s);
@@ -135,17 +197,105 @@ std::vector<FlowSpec> TrafficGenerator::generate() {
     flow.id = id++;
     flow.header = pool[zipf.sample(rng_)];
     flow.start = t;
-    if (params_.max_packets <= 1.0) {
-      flow.packets = 1;  // degenerate case: pure flow-setup workloads
+    finish_flow(flow);
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> TrafficGenerator::generate_flash_crowd() {
+  std::vector<FlowSpec> flows;
+  const std::vector<BitVec>& pool = *pool_;
+  ZipfDistribution zipf(pool.size(), params_.zipf_s);
+  const double flash_end = params_.flash_at + params_.flash_duration;
+  const std::size_t targets = std::min(params_.flash_targets, pool.size());
+  double t = 0.0;
+  std::uint64_t id = 0;
+  while (true) {
+    // The inter-arrival draw uses the rate at the previous arrival, so the
+    // speed-up engages one arrival after the window opens — a deterministic
+    // simplification that dodges inverting a piecewise-constant rate.
+    const bool accelerated = t >= params_.flash_at && t < flash_end;
+    t += rng_.exponential(params_.arrival_rate *
+                          (accelerated ? params_.flash_rate_mult : 1.0));
+    if (t >= params_.duration) break;
+    FlowSpec flow;
+    flow.id = id++;
+    const bool in_flash = t >= params_.flash_at && t < flash_end;
+    if (in_flash && rng_.bernoulli(params_.flash_target_prob)) {
+      flow.header = pool[targets <= 1 ? 0 : rng_.uniform(0, targets - 1)];
     } else {
-      const double len = rng_.pareto(1.0, params_.max_packets, params_.pareto_alpha);
-      // Scale bounded-Pareto output toward the requested mean.
-      const double scale = params_.mean_packets / 3.0;  // rough E[pareto(1,..,1.5)]
-      flow.packets = static_cast<std::size_t>(std::max(1.0, len * scale));
+      flow.header = pool[zipf.sample(rng_)];
     }
+    flow.start = t;
+    finish_flow(flow);
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> TrafficGenerator::generate_mice_storm() {
+  // Base traffic first (its draws must match a standalone kPoissonZipf run of
+  // the same seed), then the scan overlay, then a stable merge by start time.
+  std::vector<FlowSpec> flows = generate_poisson_zipf();
+  const std::size_t base_count = flows.size();
+  const double storm_end =
+      std::min(params_.storm_at + params_.storm_duration, params_.duration);
+  double t = params_.storm_at;
+  while (params_.storm_rate > 0.0) {
+    t += rng_.exponential(params_.storm_rate);
+    if (t >= storm_end) break;
+    FlowSpec flow;
+    // Uniform over the whole header space: a scanner does not respect the
+    // policy's popular rules, and (near-)distinct headers defeat any cache.
+    flow.header = Ternary::wildcard().sample_point(rng_);
+    flow.start = t;
+    flow.packets = 1;
     flow.packet_gap = params_.packet_gap;
-    flow.ingress_index = static_cast<std::uint32_t>(
-        rng_.uniform(0, params_.ingress_count == 0 ? 0 : params_.ingress_count - 1));
+    flow.ingress_index = static_cast<std::uint32_t>(rng_.uniform(
+        0, params_.ingress_count == 0 ? 0 : params_.ingress_count - 1));
+    flows.push_back(std::move(flow));
+  }
+  // Both halves are sorted; merge keeps base flows ahead of coincident scan
+  // flows, then ids are reassigned in arrival order.
+  std::inplace_merge(
+      flows.begin(), flows.begin() + static_cast<std::ptrdiff_t>(base_count),
+      flows.end(),
+      [](const FlowSpec& a, const FlowSpec& b) { return a.start < b.start; });
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    flows[i].id = static_cast<std::uint64_t>(i);
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> TrafficGenerator::generate_diurnal() {
+  std::vector<FlowSpec> flows;
+  const std::vector<BitVec>& pool = *pool_;
+  ZipfDistribution zipf(pool.size(), params_.zipf_s);
+  constexpr double kTwoPi = 6.283185307179586476925287;
+  // Lewis-Shedler thinning: draw at the peak rate, keep each arrival with
+  // probability rate(t)/peak. Exact for any bounded rate function and keeps
+  // the draw sequence deterministic.
+  const double peak = params_.arrival_rate * (1.0 + params_.diurnal_amplitude);
+  double t = 0.0;
+  std::uint64_t id = 0;
+  while (true) {
+    t += rng_.exponential(peak);
+    if (t >= params_.duration) break;
+    const double rate_now =
+        params_.arrival_rate *
+        (1.0 + params_.diurnal_amplitude *
+                   std::sin(kTwoPi * t / params_.diurnal_period));
+    if (!rng_.bernoulli(rate_now / peak)) continue;
+    FlowSpec flow;
+    flow.id = id++;
+    // Rotate who is popular each period: rank r today is rank r+rotate
+    // tomorrow, so long-lived cache entries go cold on the period boundary.
+    const auto epoch = static_cast<std::size_t>(t / params_.diurnal_period);
+    const std::size_t rank = zipf.sample(rng_);
+    flow.header = pool[(rank + epoch * params_.diurnal_rotate) % pool.size()];
+    flow.start = t;
+    finish_flow(flow);
     flows.push_back(std::move(flow));
   }
   return flows;

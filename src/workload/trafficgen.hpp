@@ -22,6 +22,32 @@ struct FlowSpec {
   std::uint32_t ingress_index = 0;  // index into the scenario's ingress list
 };
 
+// Arrival-schedule families. All modes draw from the same memoized header
+// pool and are fully deterministic in (seed, params): identical construction
+// replays a byte-identical flow list.
+//
+//  * kPoissonZipf — the legacy schedule: Poisson arrivals, Zipf popularity.
+//  * kFlashCrowd  — inside [flash_at, flash_at + flash_duration) arrivals
+//    accelerate by flash_rate_mult and concentrate on the hottest
+//    flash_targets pool ranks with probability flash_target_prob (a news
+//    event: everyone fetches the same few things at once).
+//  * kMiceStorm   — the kPoissonZipf schedule plus an overlay of
+//    single-packet flows at storm_rate in [storm_at, storm_at +
+//    storm_duration), headers uniform over the whole header space — the
+//    port-scan / SYN-flood shape: near-zero reuse, pure TCAM churn.
+//  * kDiurnal     — sinusoidal rate modulation (period diurnal_period,
+//    relative amplitude diurnal_amplitude) via Lewis-Shedler thinning, with
+//    the popular set rotating by diurnal_rotate pool ranks each period
+//    (day/night shift of who is hot).
+enum class TrafficMode : std::uint8_t {
+  kPoissonZipf = 0,
+  kFlashCrowd,
+  kMiceStorm,
+  kDiurnal,
+};
+
+const char* traffic_mode_name(TrafficMode mode);
+
 struct TrafficParams {
   std::uint64_t seed = 1;
   std::size_t flow_pool = 10000;     // distinct flows (headers) in the pool
@@ -38,6 +64,25 @@ struct TrafficParams {
   // sampled inside a policy rule chosen by rule weight (so popular rules see
   // traffic); otherwise uniformly at random.
   double p_rule_directed = 0.9;
+
+  TrafficMode mode = TrafficMode::kPoissonZipf;
+
+  // kFlashCrowd knobs.
+  double flash_at = 0.0;
+  double flash_duration = 0.0;
+  double flash_rate_mult = 10.0;     // arrival-rate multiplier in the window
+  std::size_t flash_targets = 8;     // hottest pool ranks the crowd piles on
+  double flash_target_prob = 0.9;    // P(crowd arrival hits a target rank)
+
+  // kMiceStorm knobs.
+  double storm_at = 0.0;
+  double storm_duration = 0.0;
+  double storm_rate = 0.0;           // scan flows per second in the window
+
+  // kDiurnal knobs.
+  double diurnal_period = 1.0;
+  double diurnal_amplitude = 0.8;    // relative, in [0, 1)
+  std::size_t diurnal_rotate = 0;    // popular-set shift per period (ranks)
 };
 
 class TrafficGenerator {
@@ -52,6 +97,11 @@ class TrafficGenerator {
 
  private:
   void build_pool();
+  void finish_flow(FlowSpec& flow);
+  std::vector<FlowSpec> generate_poisson_zipf();
+  std::vector<FlowSpec> generate_flash_crowd();
+  std::vector<FlowSpec> generate_mice_storm();
+  std::vector<FlowSpec> generate_diurnal();
 
   const RuleTable& policy_;
   TrafficParams params_;

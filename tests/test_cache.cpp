@@ -225,5 +225,59 @@ TEST(Cache, StrategyNames) {
   EXPECT_STREQ(cache_strategy_name(CacheStrategy::kCoverSet), "cover-set");
 }
 
+TEST(Cache, ElephantParamsDefaultsAreConservative) {
+  // The defaults must be safe to embed in any ScenarioParams: disabled, and
+  // with knobs that validate() accepts the moment someone flips `enabled`.
+  const ElephantParams p;
+  EXPECT_FALSE(p.enabled);
+  EXPECT_GT(p.tracker_capacity, 0u);
+  EXPECT_GT(p.threshold, 0u);
+  EXPECT_GT(p.idle_timeout, 0.0);
+  EXPECT_EQ(p.probation_idle_timeout, 0.0);  // inherit base timeout
+  EXPECT_TRUE(p.proactive);
+  EXPECT_FALSE(p.mice_bypass);
+  EXPECT_GE(p.mice_min_packets, 2u);
+}
+
+TEST(Cache, ClassifyInstallDisabledAlwaysNormal) {
+  ElephantParams p;  // enabled = false
+  p.mice_bypass = true;
+  for (const std::uint64_t g : {0ull, 1ull, 7ull, 8ull, 1000ull}) {
+    EXPECT_EQ(classify_install(p, g), InstallClass::kNormal) << g;
+  }
+}
+
+TEST(Cache, ClassifyInstallThresholdPromotesExactlyAtBoundary) {
+  ElephantParams p;
+  p.enabled = true;
+  p.threshold = 8;
+  EXPECT_EQ(classify_install(p, 7), InstallClass::kNormal);
+  EXPECT_EQ(classify_install(p, 8), InstallClass::kElephant);
+  EXPECT_EQ(classify_install(p, 9), InstallClass::kElephant);
+}
+
+TEST(Cache, ClassifyInstallMiceBypassOnlyBelowMinPackets) {
+  ElephantParams p;
+  p.enabled = true;
+  p.threshold = 8;
+  p.mice_bypass = true;
+  p.mice_min_packets = 2;
+  // First miss (guaranteed count 1, sampled after offering): bypass.
+  EXPECT_EQ(classify_install(p, 1), InstallClass::kBypass);
+  // Proven to return but not yet an elephant: probationary normal install.
+  EXPECT_EQ(classify_install(p, 2), InstallClass::kNormal);
+  EXPECT_EQ(classify_install(p, 7), InstallClass::kNormal);
+  // Elephant beats bypass even under degenerate min_packets > threshold.
+  p.mice_min_packets = 100;
+  EXPECT_EQ(classify_install(p, 8), InstallClass::kElephant);
+  EXPECT_EQ(classify_install(p, 3), InstallClass::kBypass);
+}
+
+TEST(Cache, InstallClassNames) {
+  EXPECT_STREQ(install_class_name(InstallClass::kNormal), "normal");
+  EXPECT_STREQ(install_class_name(InstallClass::kElephant), "elephant");
+  EXPECT_STREQ(install_class_name(InstallClass::kBypass), "bypass");
+}
+
 }  // namespace
 }  // namespace difane

@@ -2,6 +2,8 @@
 
 #include "core/cache_planner.hpp"
 #include "flowspace/header.hpp"
+#include "util/contract.hpp"
+#include "util/rng.hpp"
 #include "workload/rulegen.hpp"
 
 namespace difane {
@@ -211,6 +213,118 @@ TEST(CachePlanner, PlannedHitRateMatchesWeightedSample) {
   ASSERT_GT(counted, n / 2);
   const double sampled = static_cast<double>(terminal) / counted;
   EXPECT_NEAR(sampled, plan.expected_hit_rate(), 0.12);
+}
+
+// --- Measured-weight (elephant) planning -----------------------------------
+
+TEST(CachePlanner, WeightedOverloadMatchesStaticWhenWeightsEqualAnnotations) {
+  const auto policy = classbench_like(200, 13);
+  const auto graph = build_dependency_graph(policy);
+  std::vector<double> weights;
+  for (const auto& rule : policy.rules()) weights.push_back(rule.weight);
+  for (const auto strategy :
+       {CacheStrategy::kDependentSet, CacheStrategy::kCoverSet}) {
+    const auto static_plan = plan_cache(policy, graph, strategy, 40);
+    const auto measured = plan_cache(policy, graph, strategy, 40, weights);
+    EXPECT_EQ(measured.chosen, static_plan.chosen);
+    EXPECT_EQ(measured.entries_used, static_plan.entries_used);
+    EXPECT_NEAR(measured.covered_weight, static_plan.covered_weight, 1e-9);
+  }
+}
+
+TEST(CachePlanner, WeightedOverloadFollowsMeasuredTrafficNotAnnotations) {
+  // Statically the default rule carries 0.80 of the weight; the measured
+  // stream says all traffic hit the /32. The plan must chase the /32.
+  const auto policy = chain_policy();
+  const auto graph = build_dependency_graph(policy);
+  const std::vector<double> weights = {1000.0, 0.0, 0.0, 0.0};
+  // The /32 tops the chain: cover-set caches it with zero shadows (cost 1).
+  const auto plan = plan_cache(policy, graph, CacheStrategy::kCoverSet, 1, weights);
+  ASSERT_EQ(plan.chosen.size(), 1u);
+  EXPECT_EQ(plan.chosen[0], 0u);
+  EXPECT_NEAR(plan.covered_weight, 1000.0, 1e-9);
+  EXPECT_NEAR(plan.total_weight, 1000.0, 1e-9);
+  EXPECT_NEAR(plan.expected_hit_rate(), 1.0, 1e-9);
+}
+
+TEST(CachePlanner, WeightedOverloadRejectsSizeMismatch) {
+  const auto policy = chain_policy();
+  const auto graph = build_dependency_graph(policy);
+  const std::vector<double> short_weights = {1.0, 2.0};
+  EXPECT_THROW(
+      plan_cache(policy, graph, CacheStrategy::kCoverSet, 4, short_weights),
+      contract_violation);
+}
+
+TEST(CachePlanner, ElephantRuleWeightsAttributeFlowsToPolicyWinners) {
+  const auto policy = chain_policy();
+  Rng rng(17);
+  // A /32 hit also matches the /24, /16, and default — attribution must go
+  // to the priority winner only.
+  const BitVec hit32 = policy.at(0).match.sample_point(rng);
+  BitVec hit24;
+  do {
+    hit24 = policy.at(1).match.sample_point(rng);
+  } while (policy.at(0).match.matches(hit24));
+  BitVec hit_default;
+  do {
+    hit_default = policy.at(3).match.sample_point(rng);
+  } while (policy.at(2).match.matches(hit_default));
+  const std::vector<std::pair<BitVec, std::uint64_t>> flows = {
+      {hit32, 40}, {hit24, 7}, {hit32, 3}, {hit_default, 11}};
+  const auto weights = elephant_rule_weights(policy, flows);
+  ASSERT_EQ(weights.size(), policy.size());
+  EXPECT_NEAR(weights[0], 43.0, 1e-9);  // both /32 entries fold together
+  EXPECT_NEAR(weights[1], 7.0, 1e-9);
+  EXPECT_NEAR(weights[2], 0.0, 1e-9);
+  EXPECT_NEAR(weights[3], 11.0, 1e-9);
+}
+
+TEST(CachePlanner, ElephantRuleWeightsDropUnmatchedHeaders) {
+  // A table with no default: headers outside the /16 match nothing and must
+  // contribute no weight anywhere.
+  RuleTable t;
+  Ternary m16;
+  match_prefix(m16, Field::kIpDst, make_ipv4(10, 1, 0, 0), 16);
+  t.add(rule_with(0, 10, m16, Action::forward(1), 1.0));
+  Rng rng(23);
+  const BitVec inside = t.at(0).match.sample_point(rng);
+  BitVec outside;
+  do {
+    outside = Ternary::wildcard().sample_point(rng);
+  } while (t.at(0).match.matches(outside));
+  const auto weights =
+      elephant_rule_weights(t, {{inside, 5}, {outside, 1000}});
+  ASSERT_EQ(weights.size(), 1u);
+  EXPECT_NEAR(weights[0], 5.0, 1e-9);
+}
+
+TEST(CachePlanner, MeasuredWeightsPlanEndToEndFromHeavyFlows) {
+  // elephant_rule_weights -> weighted plan_cache, the way the system wires
+  // an authority's heavy-hitter summary into cache pre-warming.
+  const auto policy = classbench_like(150, 31);
+  const auto graph = build_dependency_graph(policy);
+  Rng rng(29);
+  std::vector<std::pair<BitVec, std::uint64_t>> flows;
+  for (int i = 0; i < 64; ++i) {
+    const auto ridx = rng.uniform(0, policy.size() - 1);
+    flows.emplace_back(policy.at(ridx).match.sample_point(rng),
+                       1 + rng.uniform(0, 99));
+  }
+  const auto weights = elephant_rule_weights(policy, flows);
+  double total = 0.0;
+  for (const auto w : weights) total += w;
+  std::uint64_t offered = 0;
+  for (const auto& [header, count] : flows) {
+    if (policy.match(header) != nullptr) offered += count;
+  }
+  EXPECT_NEAR(total, static_cast<double>(offered), 1e-9);
+  const auto plan =
+      plan_cache(policy, graph, CacheStrategy::kCoverSet, 20, weights);
+  EXPECT_LE(plan.entries_used, 20u);
+  EXPECT_NEAR(plan.total_weight, total, 1e-6);
+  EXPECT_LE(plan.covered_weight, plan.total_weight + 1e-9);
+  EXPECT_GT(plan.covered_weight, 0.0);
 }
 
 }  // namespace

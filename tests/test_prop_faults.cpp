@@ -80,6 +80,24 @@ ChaosCase gen_chaos_case(Rng& rng, std::uint64_t case_seed) {
   p.timings.heartbeat_interval = 0.015 + rng.uniform01() * 0.015;
   p.timings.heartbeat_miss = 2 + static_cast<std::uint32_t>(rng.uniform(0, 1));
   p.timings.heartbeat_horizon = 1.0;
+
+  // In two fifths of the cases, run the elephant-aware install policy under
+  // the same faults: a tiny promotion threshold so the sketch actually fires
+  // on these short traces, random mice-bypass/probation/proactive knobs. The
+  // conservation and verifier properties below must hold regardless — in
+  // particular, a bypassed mouse must still be delivered via the authority
+  // path (bypass skips the install, never the packet).
+  if (rng.bernoulli(0.4)) {
+    auto& e = p.elephants;
+    e.enabled = true;
+    e.tracker_capacity = 64;
+    e.threshold = 2 + rng.uniform(0, 2);
+    e.idle_timeout = 0.05 + rng.uniform01() * 0.15;
+    e.probation_idle_timeout = rng.bernoulli(0.5) ? 0.01 : 0.0;
+    e.proactive = rng.bernoulli(0.5);
+    e.mice_bypass = rng.bernoulli(0.5);
+    e.mice_min_packets = 2;
+  }
   return c;
 }
 
@@ -272,6 +290,124 @@ TEST(Chaos, LinkFlapConservesPackets) {
   EXPECT_EQ(stats.tracer.in_flight(), 0);
 
   const VerifyReport report = scenario.verify_installed(120, 1);
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+// A crash wipes the authority's heavy-hitter summary (soft state: the switch
+// reboots empty). Elephants that were detected before the crash must be
+// *re*-detected and re-installed afterwards — by the failover target while
+// the authority is down, or by the restarted authority itself. Heavy flows
+// here re-miss on every packet (the elephant pin is shorter than the packet
+// gap, deliberately), so detection keeps being exercised across the crash,
+// the failover, and the restart, all at 15% control-message loss.
+TEST(Chaos, ElephantRedetectedAfterCrash) {
+  Rng rng(0xe1e94a7u);
+  ChaosCase c = gen_chaos_case(rng, 0xe1e94a7u);
+  c.params.faults.msg_loss = 0.15;
+  c.params.faults.install_fail = 0.0;
+  c.params.faults.crashes.clear();
+  AuthorityCrash crash;
+  crash.authority_index = 0;
+  crash.at = 0.05;
+  crash.restart_at = 0.12;
+  c.params.faults.crashes.push_back(crash);
+
+  auto& e = c.params.elephants;
+  e.enabled = true;
+  e.tracker_capacity = 64;
+  e.threshold = 3;
+  // Pin shorter than the 5ms packet gap: every packet of a heavy flow goes
+  // back to its authority, so the tracker sees the flow before AND after the
+  // crash resets it.
+  e.idle_timeout = 0.004;
+  e.probation_idle_timeout = 0.0;
+  e.proactive = true;
+  e.mice_bypass = true;
+  e.mice_min_packets = 2;
+  c.params.timings.cache_idle_timeout = 0.004;
+
+  // 10 heavy flows (40 packets each, spanning the whole fault window) plus a
+  // trail of one-packet mice for the bypass counter.
+  const auto headers = proptest::gen_packets(rng, c.policy, 30);
+  c.flows.clear();
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    FlowSpec f;
+    f.id = i;
+    f.header = headers[i];
+    f.ingress_index = static_cast<std::uint32_t>(i % c.params.edge_switches);
+    if (i < 10) {
+      f.start = 0.001 * static_cast<double>(i);
+      f.packets = 40;
+      f.packet_gap = 0.005;
+    } else {
+      f.start = 0.01 + 0.006 * static_cast<double>(i);
+      f.packets = 1;
+    }
+    c.flows.push_back(std::move(f));
+  }
+
+  Scenario scenario(c.policy, c.params);
+  const auto& stats = scenario.run(c.flows);
+
+  EXPECT_EQ(stats.authority_crashes, 1u);
+  EXPECT_EQ(stats.authority_restarts, 1u);
+  // Each heavy flow is promoted once where it first crosses the threshold;
+  // flows owned by the crashed authority cross it again on a fresh tracker
+  // after the crash. More promotions than heavy flows == re-detection.
+  EXPECT_GT(stats.elephant_promotions, 10u);
+  EXPECT_GT(stats.elephant_installs, 0u);
+  EXPECT_GT(stats.mice_bypassed, 0u);
+  // Mice-bypass never strands a packet: bypassed flows are still forwarded
+  // through the authority path and land in the conservation totals.
+  EXPECT_EQ(stats.tracer.in_flight(), 0);
+  EXPECT_EQ(stats.tracer.injected(),
+            stats.tracer.delivered() + stats.tracer.dropped());
+
+  const VerifyReport report = scenario.verify_installed(150, 1);
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+// Mice-bypass under ≥10% loss, all-mice traffic: every install decision is a
+// bypass, no cache entry is ever spent, and yet every packet is delivered or
+// loss-accounted — the bypass skips the TCAM write, never the packet.
+TEST(Chaos, MiceBypassConservesAllMice) {
+  Rng rng(0xb19a55u);
+  ChaosCase c = gen_chaos_case(rng, 0xb19a55u);
+  c.params.faults.msg_loss = 0.2;
+  c.params.faults.crashes.clear();
+
+  auto& e = c.params.elephants;
+  e.enabled = true;
+  e.tracker_capacity = 64;
+  e.threshold = 8;
+  e.idle_timeout = 0.05;
+  e.probation_idle_timeout = 0.0;
+  e.proactive = true;
+  e.mice_bypass = true;
+  e.mice_min_packets = 2;
+
+  const auto headers = proptest::gen_packets(rng, c.policy, 40);
+  c.flows.clear();
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    FlowSpec f;
+    f.id = i;
+    f.header = headers[i];
+    f.start = 0.002 * static_cast<double>(i);
+    f.packets = 1;  // one-packet flows: all mice, by construction
+    f.ingress_index = static_cast<std::uint32_t>(i % c.params.edge_switches);
+    c.flows.push_back(std::move(f));
+  }
+
+  Scenario scenario(c.policy, c.params);
+  const auto& stats = scenario.run(c.flows);
+
+  EXPECT_GT(stats.mice_bypassed, 0u);
+  EXPECT_EQ(stats.elephant_promotions, 0u);
+  EXPECT_EQ(stats.tracer.in_flight(), 0);
+  EXPECT_EQ(stats.tracer.injected(),
+            stats.tracer.delivered() + stats.tracer.dropped());
+
+  const VerifyReport report = scenario.verify_installed(150, 1);
   EXPECT_TRUE(report.clean()) << report.summary();
 }
 

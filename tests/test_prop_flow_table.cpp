@@ -33,10 +33,40 @@ class ReferenceFlowTable {
   bool install(const Rule& rule, Band band, double now, double idle_timeout = 0.0,
                double hard_timeout = 0.0, std::vector<RuleId> guards = {}) {
     auto& entries = bands_[index(band)];
+    // Group safety (the spec the real table implements): a dependent's idle
+    // budget is capped at the tightest guard's remaining lifetime, and a
+    // refresh never shortens an entry that other live entries depend on —
+    // either way a dependent could otherwise outlive its protector. 0 means
+    // "never idles out" throughout.
+    if (band == Band::kCache && !guards.empty() && idle_timeout != 0.0) {
+      for (const RuleId g : guards) {
+        const auto git =
+            std::find_if(entries.begin(), entries.end(),
+                         [g](const FlowEntry& e) { return e.rule.id == g; });
+        if (git == entries.end() || git->idle_timeout <= 0.0) continue;
+        const double remaining = git->last_hit + git->idle_timeout - now;
+        if (remaining < idle_timeout) idle_timeout = std::max(remaining, 1e-9);
+      }
+    }
     const auto existing =
         std::find_if(entries.begin(), entries.end(),
                      [&](const FlowEntry& e) { return e.rule.id == rule.id; });
     if (existing != entries.end()) {
+      if (band == Band::kCache && existing->idle_timeout != idle_timeout) {
+        const bool has_dependents = std::any_of(
+            entries.begin(), entries.end(), [&](const FlowEntry& e) {
+              // A (generator-made) self-guard does not make an entry its own
+              // dependent: the refresh relinks it after the timeout decision.
+              return e.rule.id != rule.id &&
+                     std::find(e.guards.begin(), e.guards.end(), rule.id) !=
+                         e.guards.end();
+            });
+        if (has_dependents) {
+          idle_timeout = (existing->idle_timeout <= 0.0 || idle_timeout <= 0.0)
+                             ? 0.0
+                             : std::max(existing->idle_timeout, idle_timeout);
+        }
+      }
       existing->rule = rule;
       existing->install_time = now;
       existing->idle_timeout = idle_timeout;

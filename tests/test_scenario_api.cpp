@@ -216,6 +216,88 @@ TEST(Validate, RejectsFaultAndReliabilityMisWires) {
   EXPECT_NO_THROW(params.validate());
 }
 
+// Elephant-policy knobs (heavy-hitter tracking + mice bypass): nonsensical
+// values must be rejected with the offending field named, and every knob is
+// dormant while elephants.enabled is false.
+TEST(Validate, RejectsElephantMisWiresNamingTheField) {
+  const auto field_of = [](ScenarioParams params) -> std::string {
+    try {
+      params.validate();
+    } catch (const ConfigError& e) {
+      return e.field();
+    }
+    return "";
+  };
+  const auto good_elephants = [] {
+    ScenarioParams params = good_params();
+    params.elephants.enabled = true;
+    params.elephants.tracker_capacity = 256;
+    params.elephants.threshold = 8;
+    params.elephants.idle_timeout = 0.5;
+    params.elephants.probation_idle_timeout = 0.01;
+    params.elephants.mice_bypass = true;
+    params.elephants.mice_min_packets = 2;
+    return params;
+  };
+
+  EXPECT_NO_THROW(good_elephants().validate());
+
+  // The policy needs a DIFANE authority miss stream to feed the tracker.
+  ScenarioParams params = good_elephants();
+  params.mode = Mode::kNox;
+  EXPECT_EQ(field_of(params), "elephants.enabled");
+
+  // ...and an installing cache strategy to modulate.
+  params = good_elephants();
+  params.cache_strategy = CacheStrategy::kNone;
+  params.edge_cache_capacity = 0;
+  EXPECT_EQ(field_of(params), "elephants.enabled");
+
+  params = good_elephants();
+  params.elephants.tracker_capacity = 0;
+  EXPECT_EQ(field_of(params), "elephants.tracker_capacity");
+
+  params = good_elephants();
+  params.elephants.threshold = 0;
+  EXPECT_EQ(field_of(params), "elephants.threshold");
+
+  params = good_elephants();
+  params.elephants.idle_timeout = 0.0;
+  EXPECT_EQ(field_of(params), "elephants.idle_timeout");
+
+  params = good_elephants();
+  params.elephants.idle_timeout = -1.0;
+  EXPECT_EQ(field_of(params), "elephants.idle_timeout");
+
+  params = good_elephants();
+  params.elephants.mice_min_packets = 1;  // would bypass nothing
+  EXPECT_EQ(field_of(params), "elephants.mice_min_packets");
+
+  // mice_min_packets is dormant while the bypass itself is off.
+  params = good_elephants();
+  params.elephants.mice_bypass = false;
+  params.elephants.mice_min_packets = 0;
+  EXPECT_NO_THROW(params.validate());
+
+  params = good_elephants();
+  params.elephants.probation_idle_timeout = -0.01;
+  EXPECT_EQ(field_of(params), "elephants.probation_idle_timeout");
+
+  // 0 is valid: probation inherits the base cache idle timeout.
+  params = good_elephants();
+  params.elephants.probation_idle_timeout = 0.0;
+  EXPECT_NO_THROW(params.validate());
+
+  // Every knob is dormant while the policy is disabled.
+  params = good_elephants();
+  params.elephants.enabled = false;
+  params.elephants.tracker_capacity = 0;
+  params.elephants.threshold = 0;
+  params.elephants.idle_timeout = -1.0;
+  params.elephants.probation_idle_timeout = -1.0;
+  EXPECT_NO_THROW(params.validate());
+}
+
 TEST(Validate, ConfigErrorIsAContractViolation) {
   // Legacy callers catch contract_violation; the refined type must still
   // satisfy them.

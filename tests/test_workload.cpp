@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "flowspace/dependency.hpp"
@@ -168,6 +170,201 @@ TEST(TrafficGen, PoolHeadersMostlyInsidePolicyRules) {
     if (!winner->match.is_full_wildcard()) ++non_default;
   }
   EXPECT_GT(non_default, gen.pool().size() / 4);
+}
+
+// ---------------------------------------------------------------------------
+// Heavy-tail workload modes (flash crowd, mice storm, diurnal churn). The
+// bench suite replays these by seed, so byte-identical determinism is a hard
+// requirement, and the Zipf exponent the generator claims must be the one
+// the traffic actually exhibits.
+
+TrafficParams heavy_mode_params(TrafficMode mode) {
+  TrafficParams params;
+  params.seed = 91;
+  params.flow_pool = 2000;
+  params.zipf_s = 1.1;
+  params.arrival_rate = 4000.0;
+  params.duration = 1.0;
+  params.mode = mode;
+  switch (mode) {
+    case TrafficMode::kPoissonZipf:
+      break;
+    case TrafficMode::kFlashCrowd:
+      params.flash_at = 0.4;
+      params.flash_duration = 0.2;
+      params.flash_rate_mult = 8.0;
+      params.flash_targets = 6;
+      params.flash_target_prob = 0.9;
+      break;
+    case TrafficMode::kMiceStorm:
+      params.storm_at = 0.4;
+      params.storm_duration = 0.3;
+      params.storm_rate = 6000.0;
+      break;
+    case TrafficMode::kDiurnal:
+      params.diurnal_period = 0.33;
+      params.diurnal_amplitude = 0.8;
+      params.diurnal_rotate = 250;
+      break;
+  }
+  return params;
+}
+
+TEST(TrafficGen, EveryModeByteIdenticalAcrossIdenticalSeedAndParams) {
+  const auto policy = classbench_like(100, 3);
+  for (const TrafficMode mode :
+       {TrafficMode::kPoissonZipf, TrafficMode::kFlashCrowd,
+        TrafficMode::kMiceStorm, TrafficMode::kDiurnal}) {
+    const TrafficParams params = heavy_mode_params(mode);
+    TrafficGenerator a(policy, params), b(policy, params);
+    const auto fa = a.generate();
+    const auto fb = b.generate();
+    ASSERT_EQ(fa.size(), fb.size()) << traffic_mode_name(mode);
+    ASSERT_GT(fa.size(), 0u) << traffic_mode_name(mode);
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+      ASSERT_EQ(fa[i].id, fb[i].id) << traffic_mode_name(mode) << " flow " << i;
+      ASSERT_TRUE(fa[i].header == fb[i].header)
+          << traffic_mode_name(mode) << " flow " << i;
+      // Bitwise, not approximate: the replay contract is byte-identical.
+      ASSERT_EQ(fa[i].start, fb[i].start) << traffic_mode_name(mode) << " flow " << i;
+      ASSERT_EQ(fa[i].packets, fb[i].packets)
+          << traffic_mode_name(mode) << " flow " << i;
+      ASSERT_EQ(fa[i].packet_gap, fb[i].packet_gap)
+          << traffic_mode_name(mode) << " flow " << i;
+      ASSERT_EQ(fa[i].ingress_index, fb[i].ingress_index)
+          << traffic_mode_name(mode) << " flow " << i;
+    }
+  }
+}
+
+TEST(TrafficGen, DifferentSeedsDifferentSchedules) {
+  const auto policy = classbench_like(100, 3);
+  TrafficParams params = heavy_mode_params(TrafficMode::kFlashCrowd);
+  TrafficGenerator a(policy, params);
+  params.seed = 92;
+  TrafficGenerator b(policy, params);
+  const auto fa = a.generate();
+  const auto fb = b.generate();
+  bool differs = fa.size() != fb.size();
+  for (std::size_t i = 0; !differs && i < fa.size(); ++i) {
+    differs = fa[i].start != fb[i].start || !(fa[i].header == fb[i].header);
+  }
+  EXPECT_TRUE(differs);
+}
+
+// Least-squares slope of log(count) on log(rank) over the head of the
+// empirical popularity distribution: for Zipf with exponent s the slope is
+// -s, so the fit recovers the requested skew.
+double fitted_zipf_exponent(const std::vector<FlowSpec>& flows,
+                            const std::vector<BitVec>& pool) {
+  std::unordered_map<std::uint64_t, std::size_t> rank_of;
+  for (std::size_t i = 0; i < pool.size(); ++i) rank_of.emplace(pool[i].hash(), i);
+  std::vector<std::size_t> counts(pool.size(), 0);
+  for (const auto& f : flows) {
+    const auto it = rank_of.find(f.header.hash());
+    if (it != rank_of.end()) ++counts[it->second];
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < 50 && k < counts.size(); ++k) {
+    if (counts[k] < 10) continue;  // too noisy to anchor the fit
+    const double x = std::log(static_cast<double>(k + 1));
+    const double y = std::log(static_cast<double>(counts[k]));
+    sx += x; sy += y; sxx += x * x; sxy += x * y;
+    ++n;
+  }
+  if (n < 5) return 0.0;
+  const double dn = static_cast<double>(n);
+  return -(dn * sxy - sx * sy) / (dn * sxx - sx * sx);
+}
+
+TEST(TrafficGen, EmpiricalTailMatchesRequestedZipfAlpha) {
+  const auto policy = classbench_like(100, 3);
+  for (const double alpha : {0.8, 1.2, 1.6}) {
+    TrafficParams params;
+    params.seed = 17;
+    params.flow_pool = 5000;
+    params.zipf_s = alpha;
+    params.arrival_rate = 40000.0;
+    params.duration = 1.0;
+    TrafficGenerator gen(policy, params);
+    const double fitted = fitted_zipf_exponent(gen.generate(), gen.pool());
+    EXPECT_NEAR(fitted, alpha, 0.2) << "requested alpha " << alpha;
+  }
+}
+
+TEST(TrafficGen, FlashCrowdConcentratesOnTargetsInWindow) {
+  const auto policy = classbench_like(100, 3);
+  const TrafficParams params = heavy_mode_params(TrafficMode::kFlashCrowd);
+  TrafficGenerator gen(policy, params);
+  const auto flows = gen.generate();
+  const auto& pool = gen.pool();
+  std::unordered_map<std::uint64_t, std::size_t> rank_of;
+  for (std::size_t i = 0; i < pool.size(); ++i) rank_of.emplace(pool[i].hash(), i);
+  std::size_t in_window = 0, in_window_on_target = 0, before_window = 0;
+  for (const auto& f : flows) {
+    const bool windowed =
+        f.start >= params.flash_at && f.start < params.flash_at + params.flash_duration;
+    if (f.start < params.flash_at) ++before_window;
+    if (!windowed) continue;
+    ++in_window;
+    const auto it = rank_of.find(f.header.hash());
+    if (it != rank_of.end() && it->second < params.flash_targets) {
+      ++in_window_on_target;
+    }
+  }
+  // The window is 1/5 of the trace at 8x rate: it must hold well over the
+  // base-rate share of arrivals, most of them on the handful of targets.
+  EXPECT_GT(in_window, before_window);
+  EXPECT_GT(in_window_on_target * 10, in_window * 7);
+}
+
+TEST(TrafficGen, MiceStormAddsSinglePacketFlowsInWindow) {
+  const auto policy = classbench_like(100, 3);
+  TrafficParams params = heavy_mode_params(TrafficMode::kMiceStorm);
+  TrafficGenerator storm_gen(policy, params);
+  const auto storm_flows = storm_gen.generate();
+  params.mode = TrafficMode::kPoissonZipf;
+  TrafficGenerator base_gen(policy, params);
+  const auto base_flows = base_gen.generate();
+
+  const auto window_singles = [&](const std::vector<FlowSpec>& flows) {
+    std::size_t n = 0;
+    for (const auto& f : flows) {
+      if (f.packets == 1 && f.start >= 0.4 && f.start < 0.7) ++n;
+    }
+    return n;
+  };
+  // The overlay injects ~1800 extra one-packet flows into the window on top
+  // of whatever one-packet flows the Pareto lengths produce.
+  EXPECT_GT(window_singles(storm_flows),
+            window_singles(base_flows) + 1000);
+  EXPECT_GT(storm_flows.size(), base_flows.size() + 1000);
+}
+
+TEST(TrafficGen, DiurnalRotatesThePopularSet) {
+  const auto policy = classbench_like(100, 3);
+  TrafficParams params = heavy_mode_params(TrafficMode::kDiurnal);
+  params.duration = 0.66;  // exactly two periods
+  TrafficGenerator gen(policy, params);
+  const auto flows = gen.generate();
+  const auto& pool = gen.pool();
+  std::unordered_map<std::uint64_t, std::size_t> rank_of;
+  for (std::size_t i = 0; i < pool.size(); ++i) rank_of.emplace(pool[i].hash(), i);
+  // Top pool index by arrival count, per period.
+  std::vector<std::size_t> first(pool.size(), 0), second(pool.size(), 0);
+  for (const auto& f : flows) {
+    const auto it = rank_of.find(f.header.hash());
+    if (it == rank_of.end()) continue;
+    (f.start < params.diurnal_period ? first : second)[it->second] += 1;
+  }
+  const auto argmax = [](const std::vector<std::size_t>& v) {
+    return static_cast<std::size_t>(
+        std::max_element(v.begin(), v.end()) - v.begin());
+  };
+  // The rotation shifts who is hot by diurnal_rotate ranks each period.
+  EXPECT_NE(argmax(first), argmax(second));
+  EXPECT_EQ((argmax(first) + params.diurnal_rotate) % pool.size(), argmax(second));
 }
 
 }  // namespace

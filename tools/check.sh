@@ -58,6 +58,13 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 echo "== chaos: ctest -L chaos =="
 ctest --test-dir build --output-on-failure -L chaos -j "$jobs"
 
+# Same treatment for the property suites (flow-table/cache differentials and
+# the heavy-hitter sketch bounds): they run in the full pass above, but a
+# labeled re-run names the regression. Failures print a replay seed usable as
+# DIFANE_PROPTEST_REPLAY=0x<seed> ./build/tests/test_prop_<suite>
+echo "== property: ctest -L property =="
+ctest --test-dir build --output-on-failure -L property -j "$jobs"
+
 if [[ "$quick_bench" == 1 ]]; then
   echo "== quick-bench: bench_all --quick + determinism gate =="
   ./build/tools/bench_all --quick --jobs "$jobs" \
@@ -100,6 +107,9 @@ ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
 echo "== chaos (sanitized): ctest -L chaos =="
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-san --output-on-failure -L chaos -j "$jobs"
+echo "== property (sanitized): ctest -L property =="
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-san --output-on-failure -L property -j "$jobs"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ./build-san/tools/fuzz_difane --seconds "$fuzz_seconds"
 
