@@ -13,41 +13,53 @@ const char* mode_name(Mode mode) {
   return "?";
 }
 
-void ScenarioParams::validate() const {
-  if (edge_switches == 0) {
+// ---- parameter validation ------------------------------------------------
+// One knob group per helper, every rejection a field-named ConfigError, all
+// of them called from the single ScenarioParams::validate() pass at the
+// bottom. A new knob group gets a new helper here — not an ad-hoc check at
+// its construction site — so test_scenario_api can enumerate every error
+// from one place.
+
+namespace {
+
+void validate_topology(const ScenarioParams& p) {
+  if (p.edge_switches == 0) {
     throw ConfigError("edge_switches", "need at least one edge switch");
   }
-  if (core_switches == 0) {
+  if (p.core_switches == 0) {
     throw ConfigError("core_switches", "need at least one core switch");
   }
-  if (topology == TopologyKind::kLine && core_switches > edge_switches) {
+  if (p.topology == TopologyKind::kLine && p.core_switches > p.edge_switches) {
     throw ConfigError("core_switches",
                       "line topology places authority state on chain nodes; "
                       "core_switches must be <= edge_switches (" +
-                          std::to_string(core_switches) + " > " +
-                          std::to_string(edge_switches) + ")");
+                          std::to_string(p.core_switches) + " > " +
+                          std::to_string(p.edge_switches) + ")");
   }
-  if (mode == Mode::kDifane) {
-    if (authority_count == 0) {
+}
+
+void validate_control_plane(const ScenarioParams& p) {
+  if (p.mode == Mode::kDifane) {
+    if (p.authority_count == 0) {
       throw ConfigError("authority_count", "DIFANE needs an authority switch");
     }
-    if (authority_count > core_switches) {
+    if (p.authority_count > p.core_switches) {
       throw ConfigError("authority_count",
                         "authority_count must fit in the core tier (" +
-                            std::to_string(authority_count) + " > " +
-                            std::to_string(core_switches) + ")");
+                            std::to_string(p.authority_count) + " > " +
+                            std::to_string(p.core_switches) + ")");
     }
-    if (authority_replicas == 0) {
+    if (p.authority_replicas == 0) {
       throw ConfigError("authority_replicas", "need at least one replica");
     }
     // authority_replicas > authority_count is NOT rejected: the controller
     // clamps to the authority count (a documented convenience, relied on by
     // "replicate everywhere" configs).
-    if (partitioner.capacity == 0) {
+    if (p.partitioner.capacity == 0) {
       throw ConfigError("partitioner.capacity",
                         "a zero-capacity partition can hold no rules");
     }
-    if (max_splice_cost == 0) {
+    if (p.max_splice_cost == 0) {
       throw ConfigError("max_splice_cost",
                         "a zero splice budget forbids every cache install; "
                         "use CacheStrategy::kNone to disable caching");
@@ -55,114 +67,176 @@ void ScenarioParams::validate() const {
   }
   // A zero cache with an installing strategy silently drops every install —
   // the classic mis-wire. Pure redirection must be declared via kNone.
-  if (edge_cache_capacity == 0 && cache_strategy != CacheStrategy::kNone) {
+  if (p.edge_cache_capacity == 0 && p.cache_strategy != CacheStrategy::kNone) {
     throw ConfigError("edge_cache_capacity",
                       "zero cache capacity with an installing cache strategy; "
                       "set CacheStrategy::kNone for pure redirection");
   }
-  if (timings.authority_service <= 0.0) {
+}
+
+void validate_timings(const ScenarioParams& p) {
+  if (p.timings.authority_service <= 0.0) {
     throw ConfigError("timings.authority_service", "service time must be > 0");
   }
-  if (timings.ttl_hops == 0) {
+  if (p.timings.ttl_hops == 0) {
     throw ConfigError("timings.ttl_hops", "a zero TTL drops every packet");
   }
-  if (timings.failover_detect < 0.0) {
+  if (p.timings.failover_detect < 0.0) {
     throw ConfigError("timings.failover_detect",
                       "detection delay cannot be negative");
   }
-  if (timings.heartbeat_interval < 0.0) {
+}
+
+void validate_heartbeat(const ScenarioParams& p) {
+  if (p.timings.heartbeat_interval < 0.0) {
     throw ConfigError("timings.heartbeat_interval",
                       "heartbeat interval cannot be negative");
   }
-  if (timings.heartbeat_interval > 0.0) {
-    if (timings.heartbeat_miss == 0) {
+  if (p.timings.heartbeat_interval > 0.0) {
+    if (p.timings.heartbeat_miss == 0) {
       throw ConfigError("timings.heartbeat_miss",
                         "a zero miss threshold declares every switch dead "
                         "on the first tick");
     }
-    if (timings.heartbeat_horizon <= 0.0) {
+    if (p.timings.heartbeat_horizon <= 0.0) {
       throw ConfigError("timings.heartbeat_horizon",
                         "heartbeat detection needs a positive horizon or the "
                         "monitor's tick chain never ends (set it at or past "
                         "the end of injected traffic)");
     }
   }
-  if (elephants.enabled) {
-    if (mode != Mode::kDifane) {
-      throw ConfigError("elephants.enabled",
-                        "elephant-aware caching runs on DIFANE authority "
-                        "switches; NOX mode has no authority miss stream to "
-                        "feed the tracker");
-    }
-    if (cache_strategy == CacheStrategy::kNone) {
-      throw ConfigError("elephants.enabled",
-                        "elephant-aware caching (and mice bypass) modulates "
-                        "cache installs; CacheStrategy::kNone never installs "
-                        "anything to modulate");
-    }
-    if (elephants.tracker_capacity == 0) {
-      throw ConfigError("elephants.tracker_capacity",
-                        "a zero-slot space-saving summary can track nothing");
-    }
-    if (elephants.threshold == 0) {
-      throw ConfigError("elephants.threshold",
-                        "a zero threshold promotes every flow to elephant on "
-                        "its first miss; use threshold >= 1");
-    }
-    if (elephants.idle_timeout <= 0.0) {
-      throw ConfigError("elephants.idle_timeout",
-                        "elephant idle timeout must be > 0 (0 means 'never "
-                        "expire' at the flow table, which is spelled via the "
-                        "base cache_idle_timeout, not here)");
-    }
-    if (elephants.mice_bypass && elephants.mice_min_packets < 2) {
-      throw ConfigError("elephants.mice_min_packets",
-                        "mice bypass needs a returning-flow bar of at least 2 "
-                        "packets; 0/1 would bypass nothing");
-    }
-    if (elephants.probation_idle_timeout < 0.0) {
-      throw ConfigError("elephants.probation_idle_timeout",
-                        "probation idle timeout must be >= 0 (0 inherits the "
-                        "base cache_idle_timeout)");
-    }
+}
+
+void validate_elephants(const ScenarioParams& p) {
+  if (!p.elephants.enabled) return;
+  if (p.mode != Mode::kDifane) {
+    throw ConfigError("elephants.enabled",
+                      "elephant-aware caching runs on DIFANE authority "
+                      "switches; NOX mode has no authority miss stream to "
+                      "feed the tracker");
   }
-  if (threads == 0) {
+  if (p.cache_strategy == CacheStrategy::kNone) {
+    throw ConfigError("elephants.enabled",
+                      "elephant-aware caching (and mice bypass) modulates "
+                      "cache installs; CacheStrategy::kNone never installs "
+                      "anything to modulate");
+  }
+  if (p.elephants.tracker_capacity == 0) {
+    throw ConfigError("elephants.tracker_capacity",
+                      "a zero-slot space-saving summary can track nothing");
+  }
+  if (p.elephants.threshold == 0) {
+    throw ConfigError("elephants.threshold",
+                      "a zero threshold promotes every flow to elephant on "
+                      "its first miss; use threshold >= 1");
+  }
+  if (p.elephants.idle_timeout <= 0.0) {
+    throw ConfigError("elephants.idle_timeout",
+                      "elephant idle timeout must be > 0 (0 means 'never "
+                      "expire' at the flow table, which is spelled via the "
+                      "base cache_idle_timeout, not here)");
+  }
+  if (p.elephants.mice_bypass && p.elephants.mice_min_packets < 2) {
+    throw ConfigError("elephants.mice_min_packets",
+                      "mice bypass needs a returning-flow bar of at least 2 "
+                      "packets; 0/1 would bypass nothing");
+  }
+  if (p.elephants.probation_idle_timeout < 0.0) {
+    throw ConfigError("elephants.probation_idle_timeout",
+                      "probation idle timeout must be >= 0 (0 inherits the "
+                      "base cache_idle_timeout)");
+  }
+}
+
+void validate_measurement(const ScenarioParams& p) {
+  if (!p.measurement.enabled) return;
+  if (p.mode != Mode::kDifane) {
+    throw ConfigError("measurement.enabled",
+                      "flow measurement samples DIFANE cache/authority "
+                      "entries; NOX mode installs none to measure");
+  }
+  if (p.measurement.sample_prob <= 0.0 || p.measurement.sample_prob > 1.0) {
+    throw ConfigError("measurement.sample_prob",
+                      "sampling probability must be in (0, 1]; 1.0 counts "
+                      "every packet");
+  }
+  if (p.measurement.export_interval <= 0.0) {
+    throw ConfigError("measurement.export_interval",
+                      "export interval must be > 0");
+  }
+  if (p.measurement.export_horizon <= 0.0) {
+    throw ConfigError("measurement.export_horizon",
+                      "measurement needs a positive export horizon or the "
+                      "tick chain never ends (set it at or past the end of "
+                      "injected traffic)");
+  }
+  if (p.measurement.export_latency < 0.0) {
+    throw ConfigError("measurement.export_latency",
+                      "export latency cannot be negative");
+  }
+  if (p.measurement.record_capacity == 0) {
+    throw ConfigError("measurement.record_capacity",
+                      "a zero-record flow table can measure nothing");
+  }
+}
+
+void validate_execution(const ScenarioParams& p) {
+  if (p.threads == 0) {
     throw ConfigError("threads", "need at least one worker thread");
   }
-  if (threads > 1 && link.latency <= 0.0) {
+  if (p.threads > 1 && p.link.latency <= 0.0) {
     throw ConfigError("threads",
                       "the sharded engine's conservative lookahead is the link "
                       "latency; threads > 1 needs link.latency > 0");
   }
-  if (reliable_ctrl) {
-    if (timings.ctrl_rto_initial <= 0.0) {
-      throw ConfigError("timings.ctrl_rto_initial",
-                        "retransmission timeout must be > 0");
-    }
-    if (timings.ctrl_rto_backoff < 1.0) {
-      throw ConfigError("timings.ctrl_rto_backoff",
-                        "backoff factor must be >= 1 (shrinking timeouts "
-                        "retransmit faster and faster forever)");
-    }
-    if (timings.ctrl_rto_max < timings.ctrl_rto_initial) {
-      throw ConfigError("timings.ctrl_rto_max",
-                        "backoff cap must be >= the initial timeout");
-    }
-    if (faults.msg_loss >= 1.0) {
-      throw ConfigError("faults.msg_loss",
-                        "reliable delivery with 100% loss retransmits "
-                        "forever; loss must be < 1 when reliable_ctrl is on");
-    }
+}
+
+void validate_reliability(const ScenarioParams& p) {
+  if (!p.reliable_ctrl) return;
+  if (p.timings.ctrl_rto_initial <= 0.0) {
+    throw ConfigError("timings.ctrl_rto_initial",
+                      "retransmission timeout must be > 0");
   }
-  faults.validate();
-  for (const auto& crash : faults.crashes) {
-    if (mode == Mode::kDifane && crash.authority_index >= authority_count) {
+  if (p.timings.ctrl_rto_backoff < 1.0) {
+    throw ConfigError("timings.ctrl_rto_backoff",
+                      "backoff factor must be >= 1 (shrinking timeouts "
+                      "retransmit faster and faster forever)");
+  }
+  if (p.timings.ctrl_rto_max < p.timings.ctrl_rto_initial) {
+    throw ConfigError("timings.ctrl_rto_max",
+                      "backoff cap must be >= the initial timeout");
+  }
+  if (p.faults.msg_loss >= 1.0) {
+    throw ConfigError("faults.msg_loss",
+                      "reliable delivery with 100% loss retransmits "
+                      "forever; loss must be < 1 when reliable_ctrl is on");
+  }
+}
+
+void validate_faults(const ScenarioParams& p) {
+  p.faults.validate();
+  for (const auto& crash : p.faults.crashes) {
+    if (p.mode == Mode::kDifane && crash.authority_index >= p.authority_count) {
       throw ConfigError("faults.crashes",
                         "crash names authority index " +
                             std::to_string(crash.authority_index) + " but only " +
-                            std::to_string(authority_count) + " exist");
+                            std::to_string(p.authority_count) + " exist");
     }
   }
+}
+
+}  // namespace
+
+void ScenarioParams::validate() const {
+  validate_topology(*this);
+  validate_control_plane(*this);
+  validate_timings(*this);
+  validate_heartbeat(*this);
+  validate_elephants(*this);
+  validate_measurement(*this);
+  validate_execution(*this);
+  validate_reliability(*this);
+  validate_faults(*this);
 }
 
 Scenario::Scenario(RuleTable policy, ScenarioParams params)
@@ -269,7 +343,199 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
     });
     heartbeat_->start();
   }
+  // Measurement mode last: its piggyback hook wants the heartbeat monitor,
+  // and its export channels want the injector, both built above.
+  setup_measurement();
   schedule_faults();
+}
+
+// Build the telemetry data plane: one FlowTelemetry + export channel per
+// exporter (every edge switch, then every authority switch not already an
+// edge — that fixed order is also the order finalize_measurement() merges
+// the per-exporter batch streams, making the collector stream deterministic).
+void Scenario::setup_measurement() {
+  if (!params_.measurement.enabled) return;
+  std::vector<char> is_exporter(net_.switch_count(), 0);
+  for (const SwitchId e : topo_.edge) {
+    if (!is_exporter[e]) {
+      is_exporter[e] = 1;
+      exporters_.push_back(e);
+    }
+  }
+  std::vector<char> watched(net_.switch_count(), 0);
+  if (difane_ != nullptr) {
+    for (const SwitchId a : difane_->authority_switches()) {
+      watched[a] = 1;
+      if (!is_exporter[a]) {
+        is_exporter[a] = 1;
+        exporters_.push_back(a);
+      }
+    }
+  }
+  telemetry_.resize(net_.switch_count());
+  export_endpoints_.resize(net_.switch_count());
+  export_channels_.resize(net_.switch_count());
+  export_seq_.assign(net_.switch_count(), 0);
+  ControlChannel::Reliability reliability;
+  reliability.enabled = params_.reliable_ctrl;
+  reliability.rto_initial = params_.timings.ctrl_rto_initial;
+  reliability.rto_backoff = params_.timings.ctrl_rto_backoff;
+  reliability.rto_max = params_.timings.ctrl_rto_max;
+  for (const SwitchId sw : exporters_) {
+    // Per-switch sampler stream split from the master measurement seed, so
+    // adding or removing one exporter never perturbs another's draws.
+    std::uint64_t state =
+        params_.measurement.seed ^
+        ((static_cast<std::uint64_t>(sw) + 1) * 0x9e3779b97f4a7c15ULL);
+    telemetry_[sw] =
+        std::make_unique<FlowTelemetry>(params_.measurement, splitmix64(state));
+    // Heartbeat piggyback: a batch arriving from a watched (authority)
+    // switch is liveness evidence. The monitor is global state, so under the
+    // sharded executor the note hops to the coordinator's global queue.
+    CollectorEndpoint::BatchHook hook;
+    if (heartbeat_ != nullptr && watched[sw]) {
+      hook = [this, sw](const obs::FlowExportBatch& batch) {
+        const std::uint64_t beat = batch.beat_seq;
+        if (exec_ != nullptr) {
+          exec_->schedule_global(cur_engine().now(), [this, sw, beat]() {
+            heartbeat_->note_liveness(sw, beat);
+          });
+        } else {
+          heartbeat_->note_liveness(sw, beat);
+        }
+      };
+    }
+    export_endpoints_[sw] = std::make_unique<CollectorEndpoint>(std::move(hook));
+    export_channels_[sw] = std::make_unique<ControlChannel>(
+        engine_of(sw), *export_endpoints_[sw], params_.measurement.export_latency,
+        reliability, injector_.get());
+    // Eviction flush: when a cache entry leaves this switch's table, any
+    // pending counts bound to it close into kEvict records instead of
+    // silently vanishing with the entry.
+    net_.sw(sw).table().set_removal_listener(
+        [this, sw](const FlowEntry& entry, CacheRemoval) {
+          on_cache_removed(sw, entry);
+        });
+    if (params_.measurement.export_interval <= params_.measurement.export_horizon) {
+      schedule_at_switch(sw, params_.measurement.export_interval,
+                        [this, sw]() { export_tick(sw); });
+    }
+  }
+}
+
+void Scenario::export_tick(SwitchId sw) {
+  // A failed switch exports nothing (its state is already lost); the tick
+  // chain keeps running so exports resume when the switch restarts.
+  if (!net_.sw(sw).failed()) {
+    // Always send — an empty drain becomes a keepalive batch, which is what
+    // lets the heartbeat piggyback distinguish "quiet but alive" from
+    // "partitioned" for an authority serving no misses.
+    send_export(sw, telemetry_[sw]->drain(obs::ExportKind::kPeriodic));
+  }
+  const double next = cur_engine().now() + params_.measurement.export_interval;
+  if (next <= params_.measurement.export_horizon) {
+    schedule_at_switch(sw, next, [this, sw]() { export_tick(sw); });
+  }
+}
+
+void Scenario::send_export(SwitchId sw, std::vector<obs::FlowExportRecord> records) {
+  obs::FlowExportBatch batch;
+  batch.exporter = sw;
+  batch.seq = export_seq_[sw]++;
+  batch.sent_at = cur_engine().now();
+  // Stamp the batch with the heartbeat epoch it was sent in; the monitor
+  // accepts it as liveness evidence iff the stamp is within miss_threshold
+  // ticks of its own counter (see HeartbeatMonitor::note_liveness).
+  const double hb = params_.timings.heartbeat_interval;
+  batch.beat_seq =
+      hb > 0.0 ? static_cast<std::uint64_t>(batch.sent_at / hb) : 0;
+  batch.sample_prob = params_.measurement.sample_prob;
+  batch.records = std::move(records);
+  FlowExport msg;
+  msg.batch = std::move(batch);
+  export_channels_[sw]->send(std::move(msg));
+}
+
+// FlowTable removal listener body (cache band only). Fires with the entry
+// still intact, before the slot is reused; must not touch the table.
+void Scenario::on_cache_removed(SwitchId sw, const FlowEntry& entry) {
+  FlowTelemetry* tel = telemetry_[sw].get();
+  if (tel == nullptr) return;
+  // A crashing switch loses its counter state: the purge that empties its
+  // TCAM must not launder pending counts into exports (crash_authority
+  // drops the rest via drop_all()).
+  const bool export_counts =
+      params_.measurement.flush_on_evict && !net_.sw(sw).failed();
+  tel->on_rule_removed(entry.rule.id, cur_engine().now(), export_counts);
+}
+
+// After the engine drains: final-drain every exporter, then feed the
+// collector (and the optional sink) each exporter's batches in exporter-major
+// order. The final batches bypass the export channel — there is no engine
+// time left to pay latency in — so they carry kFinal records and fresh seqs
+// but never contend with in-flight traffic.
+void Scenario::finalize_measurement() {
+  if (!params_.measurement.enabled) return;
+  for (const SwitchId sw : exporters_) {
+    FlowTelemetry& tel = *telemetry_[sw];
+    std::vector<obs::FlowExportBatch> batches = export_endpoints_[sw]->take();
+    if (net_.sw(sw).failed()) {
+      tel.drop_all();  // still down at end of run: residual state is lost
+    } else {
+      std::vector<obs::FlowExportRecord> final_records =
+          tel.drain(obs::ExportKind::kFinal);
+      if (!final_records.empty()) {
+        obs::FlowExportBatch batch;
+        batch.exporter = sw;
+        batch.seq = export_seq_[sw]++;
+        batch.sent_at = net_.engine().now();
+        const double hb = params_.timings.heartbeat_interval;
+        batch.beat_seq =
+            hb > 0.0 ? static_cast<std::uint64_t>(batch.sent_at / hb) : 0;
+        batch.sample_prob = params_.measurement.sample_prob;
+        batch.records = std::move(final_records);
+        batches.push_back(std::move(batch));
+      }
+    }
+    for (const auto& batch : batches) {
+      collector_.on_batch(batch);
+      if (export_sink_ != nullptr) export_sink_->on_batch(batch);
+    }
+  }
+  collector_.on_close();
+  if (export_sink_ != nullptr) export_sink_->on_close();
+  // Switch-side accounting.
+  stats_.telemetry_sampled_packets = 0;
+  stats_.telemetry_sampled_bytes = 0;
+  stats_.telemetry_records = 0;
+  stats_.telemetry_dropped_records = 0;
+  stats_.telemetry_dropped_packets = 0;
+  stats_.telemetry_overflow_drops = 0;
+  for (const SwitchId sw : exporters_) {
+    const FlowTelemetry& tel = *telemetry_[sw];
+    stats_.telemetry_sampled_packets += tel.sampled_packets();
+    stats_.telemetry_sampled_bytes += tel.sampled_bytes();
+    stats_.telemetry_records += tel.flow_records();
+    stats_.telemetry_dropped_records += tel.dropped_records();
+    stats_.telemetry_dropped_packets += tel.dropped_packets();
+    stats_.telemetry_overflow_drops += tel.overflow_drops();
+  }
+  // Collector-side accounting.
+  stats_.export_batches = collector_.batches();
+  stats_.export_records = collector_.records();
+  stats_.export_keepalives = collector_.keepalives();
+  stats_.export_evict_records = collector_.evict_records();
+  stats_.export_final_records = collector_.final_records();
+  stats_.export_transmissions = 0;
+  stats_.export_retransmits = 0;
+  for (const SwitchId sw : exporters_) {
+    stats_.export_transmissions += export_channels_[sw]->transmissions();
+    stats_.export_retransmits += export_channels_[sw]->retransmits();
+  }
+  if (heartbeat_ != nullptr) {
+    stats_.export_piggyback_fresh = heartbeat_->piggyback_fresh();
+    stats_.export_piggyback_stale = heartbeat_->piggyback_stale();
+  }
 }
 
 // Partition the switches into shards. DIFANE: authority switches spread
@@ -351,6 +617,21 @@ void ScenarioStats::merge_from(const ScenarioStats& other) {
   link_flaps += other.link_flaps;
   authority_crashes += other.authority_crashes;
   authority_restarts += other.authority_restarts;
+  telemetry_sampled_packets += other.telemetry_sampled_packets;
+  telemetry_sampled_bytes += other.telemetry_sampled_bytes;
+  telemetry_records += other.telemetry_records;
+  telemetry_dropped_records += other.telemetry_dropped_records;
+  telemetry_dropped_packets += other.telemetry_dropped_packets;
+  telemetry_overflow_drops += other.telemetry_overflow_drops;
+  export_batches += other.export_batches;
+  export_records += other.export_records;
+  export_keepalives += other.export_keepalives;
+  export_evict_records += other.export_evict_records;
+  export_final_records += other.export_final_records;
+  export_transmissions += other.export_transmissions;
+  export_retransmits += other.export_retransmits;
+  export_piggyback_fresh += other.export_piggyback_fresh;
+  export_piggyback_stale += other.export_piggyback_stale;
 }
 
 void Scenario::schedule_faults() {
@@ -402,6 +683,13 @@ void Scenario::crash_authority(SwitchId sw) {
   // chaos suite pins this re-detection behaviour).
   if (const auto it = elephant_trackers_.find(sw); it != elephant_trackers_.end()) {
     it->second.reset();
+  }
+  // Flow counters are soft state too: the clear_band() purge above already
+  // routed cache-bound pending counts to the dropped side (the removal
+  // listener saw failed() == true), and drop_all() loses the rest —
+  // authority-band-bound deltas and evict-closed records awaiting export.
+  if (sw < telemetry_.size() && telemetry_[sw] != nullptr) {
+    telemetry_[sw]->drop_all();
   }
   ++stats_.authority_crashes;
   log_info("authority switch ", sw, " crashed at t=", net_.engine().now());
@@ -480,6 +768,29 @@ obs::MetricsReport ScenarioStats::snapshot(const std::string& experiment) const 
   report.set("link_flaps", static_cast<double>(link_flaps));
   report.set("authority_crashes", static_cast<double>(authority_crashes));
   report.set("authority_restarts", static_cast<double>(authority_restarts));
+  // Telemetry data plane (all zero with measurement off).
+  report.set("telemetry_sampled_packets",
+             static_cast<double>(telemetry_sampled_packets));
+  report.set("telemetry_sampled_bytes",
+             static_cast<double>(telemetry_sampled_bytes));
+  report.set("telemetry_records", static_cast<double>(telemetry_records));
+  report.set("telemetry_dropped_records",
+             static_cast<double>(telemetry_dropped_records));
+  report.set("telemetry_dropped_packets",
+             static_cast<double>(telemetry_dropped_packets));
+  report.set("telemetry_overflow_drops",
+             static_cast<double>(telemetry_overflow_drops));
+  report.set("export_batches", static_cast<double>(export_batches));
+  report.set("export_records", static_cast<double>(export_records));
+  report.set("export_keepalives", static_cast<double>(export_keepalives));
+  report.set("export_evict_records", static_cast<double>(export_evict_records));
+  report.set("export_final_records", static_cast<double>(export_final_records));
+  report.set("export_transmissions", static_cast<double>(export_transmissions));
+  report.set("export_retransmits", static_cast<double>(export_retransmits));
+  report.set("export_piggyback_fresh",
+             static_cast<double>(export_piggyback_fresh));
+  report.set("export_piggyback_stale",
+             static_cast<double>(export_piggyback_stale));
   return report;
 }
 
@@ -530,6 +841,7 @@ const ScenarioStats& Scenario::run(const std::vector<FlowSpec>& flows) {
   if (params_.occupancy_sample_at < 0.0) {
     stats_.cache_entries_final = live_cache_entries(net_.engine().now());
   }
+  finalize_measurement();
   collect_fault_stats();
   return stats_;
 }
@@ -672,6 +984,14 @@ void Scenario::process(SwitchId at, Packet pkt) {
       }
     }
   }
+  // Telemetry: a terminal match (the entry decides the packet's fate here —
+  // encap means the authority decides, and is sampled there instead). This
+  // is the packet's only table lookup, so it is offered exactly once.
+  if (at < telemetry_.size() && telemetry_[at] != nullptr &&
+      entry->band != Band::kPartition &&
+      entry->rule.action.type != ActionType::kEncap) {
+    telemetry_[at]->sample(pkt.header, entry->rule.id, now, pkt.bytes);
+  }
   apply_action(at, pkt, entry->rule.action);
 }
 
@@ -773,6 +1093,11 @@ void Scenario::handle_authority(SwitchId at, Packet pkt) {
     // per-policy-rule counters stay exact (transparency).
     net_.sw(at).table().hit(result->winner->id, Band::kAuthority,
                             cur_engine().now(), pkt.bytes);
+    // Telemetry: an authority resolution is this packet's terminal match.
+    if (at < telemetry_.size() && telemetry_[at] != nullptr) {
+      telemetry_[at]->sample(pkt.header, result->winner->id,
+                             cur_engine().now(), pkt.bytes);
+    }
     apply_action(at, pkt, result->winner->action);
   };
   static_assert(Engine::Handler::fits_inline<decltype(resolve)>,

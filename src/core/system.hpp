@@ -13,8 +13,10 @@
 #include "controller/nox.hpp"
 #include "core/cache.hpp"
 #include "core/difane_controller.hpp"
+#include "core/telemetry.hpp"
 #include "core/verifier.hpp"
 #include "ctrlchan/channel.hpp"
+#include "obs/flow_export.hpp"
 #include "engine/sharded.hpp"
 #include "faults/heartbeat.hpp"
 #include "faults/injector.hpp"
@@ -112,6 +114,14 @@ struct ScenarioParams {
   // elephant (longer idle timeout), normal, or mouse (bypassed entirely).
   ElephantParams elephants;
 
+  // Flow measurement mode (DIFANE mode only; validate() rejects other
+  // combinations). Every edge and authority switch samples its terminal
+  // matches and periodically exports per-flow deltas over a reliable-capable
+  // control channel to the scenario's FlowCollector; export batches carry
+  // heartbeat sequence numbers, so with heartbeat detection on, telemetry
+  // traffic doubles as liveness evidence. See core/telemetry.hpp.
+  MeasurementParams measurement;
+
   // When >= 0, ScenarioStats::cache_entries_final is sampled at this sim
   // time (a global event; scheduled by run()) instead of at the end of the
   // drained run. The drain tail of a long-lived flow can outlast every idle
@@ -178,6 +188,27 @@ struct ScenarioStats {
   std::uint64_t link_flaps = 0;           // link-down events executed
   std::uint64_t authority_crashes = 0;
   std::uint64_t authority_restarts = 0;
+
+  // Telemetry data plane (all zero with measurement off). Switch side:
+  // sampler and record-table accounting summed over every exporter. Export
+  // side: what reached the collector, and the channel/piggyback activity the
+  // export path generated (kept apart from ctrl_* so install-channel and
+  // export-channel behaviour stay separately observable).
+  std::uint64_t telemetry_sampled_packets = 0;
+  std::uint64_t telemetry_sampled_bytes = 0;
+  std::uint64_t telemetry_records = 0;        // distinct flow records created
+  std::uint64_t telemetry_dropped_records = 0;
+  std::uint64_t telemetry_dropped_packets = 0;
+  std::uint64_t telemetry_overflow_drops = 0;
+  std::uint64_t export_batches = 0;           // batches the collector received
+  std::uint64_t export_records = 0;
+  std::uint64_t export_keepalives = 0;        // empty (liveness-only) batches
+  std::uint64_t export_evict_records = 0;     // eviction-flush closures
+  std::uint64_t export_final_records = 0;     // end-of-run drain records
+  std::uint64_t export_transmissions = 0;     // export-channel sends incl. rexmit
+  std::uint64_t export_retransmits = 0;
+  std::uint64_t export_piggyback_fresh = 0;   // batches accepted as liveness
+  std::uint64_t export_piggyback_stale = 0;
   double cache_hit_fraction() const {
     const auto total = ingress_cache_hits + ingress_local_hits + redirects;
     return total ? static_cast<double>(ingress_cache_hits + ingress_local_hits) /
@@ -239,11 +270,29 @@ class Scenario {
   // that owned it — the OpenFlow-transparency property.
   std::vector<FlowStatsEntry> query_flow_stats() const;
 
+  // Measurement mode: the controller-side collector, populated by run().
+  // Its stream_dump() is the byte-identical-by-(seed, params) surface.
+  const obs::FlowCollector& collector() const { return collector_; }
+  // Optional extra sink fed the same batch stream as the collector (in
+  // arrival order), then closed at the end of run(). Not owned.
+  void set_collector_sink(obs::CollectorSink* sink) { export_sink_ = sink; }
+
+  // Per-switch telemetry state (nullptr with measurement off or for
+  // non-exporting switches); exposed for the tests' conservation checks.
+  const FlowTelemetry* telemetry(SwitchId sw) const {
+    return sw < telemetry_.size() ? telemetry_[sw].get() : nullptr;
+  }
+
  private:
   void schedule_faults();
   void crash_authority(SwitchId sw);
   void restart_authority(SwitchId sw);
   void collect_fault_stats();
+  void setup_measurement();
+  void export_tick(SwitchId sw);
+  void send_export(SwitchId sw, std::vector<obs::FlowExportRecord> records);
+  void on_cache_removed(SwitchId sw, const FlowEntry& entry);
+  void finalize_measurement();
   void inject(const FlowSpec& flow);
   void process(SwitchId at, Packet pkt);
   void handle_authority(SwitchId at, Packet pkt);
@@ -308,6 +357,20 @@ class Scenario {
   // the legacy one.
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<HeartbeatMonitor> heartbeat_;
+  // Measurement mode (params_.measurement.enabled only; all empty/null
+  // otherwise so the measurement-off path is byte-identical to before).
+  // Indexed by SwitchId; only exporters (edge + authorities) are non-null.
+  // Each exporter gets its own export channel + endpoint pair so batches pay
+  // latency/reliability like any control message, while the endpoint buffers
+  // stay shard-local; finalize_measurement() feeds them to the collector in
+  // exporter order, which makes the merged stream deterministic.
+  std::vector<std::unique_ptr<FlowTelemetry>> telemetry_;
+  std::vector<std::unique_ptr<CollectorEndpoint>> export_endpoints_;
+  std::vector<std::unique_ptr<ControlChannel>> export_channels_;
+  std::vector<SwitchId> exporters_;       // export order: edge, then authorities
+  std::vector<std::uint64_t> export_seq_; // per-exporter batch sequence
+  obs::FlowCollector collector_;
+  obs::CollectorSink* export_sink_ = nullptr;
   // Sharded parallel execution (threads > 1 only; nullptr keeps every code
   // path exactly the legacy single-threaded one). Global events — fault
   // schedules, heartbeat ticks, failover handling — stay on net_.engine(),

@@ -10,7 +10,7 @@ std::vector<double> ControlChannel::draw_deliveries() {
   return deliveries;
 }
 
-void ControlChannel::send(Request request, SwitchAgent::ReplyHandler on_reply) {
+void ControlChannel::send(Request request, ControlEndpoint::ReplyHandler on_reply) {
   ++sent_;
   if (!reliability_.enabled && faults_ == nullptr) {
     // Legacy exactly-once path, byte-identical to the pre-reliability
@@ -19,7 +19,7 @@ void ControlChannel::send(Request request, SwitchAgent::ReplyHandler on_reply) {
     ++transmissions_;
     engine_.after(latency_, [this, request = std::move(request),
                              on_reply = std::move(on_reply)]() {
-      SwitchAgent::ReplyHandler wrapped;
+      ControlEndpoint::ReplyHandler wrapped;
       if (on_reply) {
         wrapped = [this, on_reply](const Reply& reply) {
           engine_.after(latency_, [on_reply, reply]() { on_reply(reply); });
@@ -38,7 +38,7 @@ void ControlChannel::send(Request request, SwitchAgent::ReplyHandler on_reply) {
     ++transmissions_;
     for (const double extra : draw_deliveries()) {
       engine_.after(latency_ + extra, [this, request, on_reply]() {
-        SwitchAgent::ReplyHandler wrapped;
+        ControlEndpoint::ReplyHandler wrapped;
         if (on_reply) {
           wrapped = [this, on_reply](const Reply& reply) {
             for (const double back : draw_deliveries()) {
@@ -95,7 +95,7 @@ void ControlChannel::handle_ack(std::uint64_t seq, const Reply& reply) {
     return;
   }
   ++acks_;
-  SwitchAgent::ReplyHandler on_reply = std::move(it->second.on_reply);
+  ControlEndpoint::ReplyHandler on_reply = std::move(it->second.on_reply);
   pending_.erase(it);
   if (on_reply) on_reply(reply);
 }

@@ -55,7 +55,7 @@ class ControlChannel {
  public:
   using Reliability = ChannelReliability;
 
-  ControlChannel(Engine& engine, SwitchAgent& agent, double one_way_latency,
+  ControlChannel(Engine& engine, ControlEndpoint& agent, double one_way_latency,
                  Reliability reliability = Reliability{},
                  ChannelFaults* faults = nullptr)
       : engine_(engine),
@@ -75,7 +75,7 @@ class ControlChannel {
   // Send a request; if `on_reply` is given it fires at the sender side after
   // the reply has travelled back. In reliable mode `on_reply` fires exactly
   // once (on the first ack) no matter how many copies the wire made.
-  void send(Request request, SwitchAgent::ReplyHandler on_reply = {});
+  void send(Request request, ControlEndpoint::ReplyHandler on_reply = {});
 
   double latency() const { return latency_; }
   bool reliable() const { return reliability_.enabled; }
@@ -93,7 +93,7 @@ class ControlChannel {
  private:
   struct Pending {
     Request request;
-    SwitchAgent::ReplyHandler on_reply;
+    ControlEndpoint::ReplyHandler on_reply;
     double rto;
   };
 
@@ -113,7 +113,7 @@ class ControlChannel {
   std::vector<double> draw_deliveries();
 
   Engine& engine_;
-  SwitchAgent& agent_;
+  ControlEndpoint& agent_;
   double latency_;
   Reliability reliability_;
   ChannelFaults* faults_;

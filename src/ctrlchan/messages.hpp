@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <variant>
 #include <vector>
 
+#include "obs/flow_export.hpp"
 #include "switchsim/flow_table.hpp"
 
 namespace difane {
@@ -51,7 +53,17 @@ struct FlowStatsRequest {
   RuleId origin = kInvalidRuleId;
 };
 
-using Request = std::variant<FlowMod, PacketOut, BarrierRequest, FlowStatsRequest>;
+// One telemetry export batch travelling switch -> collector. Unlike the
+// requests above this one flows *toward* the controller, which is why the
+// channel endpoint is an abstract ControlEndpoint (below): the collector
+// side reuses the exact same reliable-delivery machinery as a switch agent.
+struct FlowExport {
+  Xid xid = 0;
+  obs::FlowExportBatch batch;
+};
+
+using Request =
+    std::variant<FlowMod, PacketOut, BarrierRequest, FlowStatsRequest, FlowExport>;
 
 // ---- replies -------------------------------------------------------------
 
@@ -80,6 +92,28 @@ struct FlowStatsReply {
   std::vector<FlowStatsEntry> entries;
 };
 
-using Reply = std::variant<FlowModReply, BarrierReply, FlowStatsReply>;
+// Acknowledges a FlowExport batch by its per-exporter sequence number.
+struct FlowExportAck {
+  Xid xid = 0;
+  std::uint64_t seq = 0;
+};
+
+using Reply = std::variant<FlowModReply, BarrierReply, FlowStatsReply, FlowExportAck>;
+
+// ---- endpoint ------------------------------------------------------------
+
+// The receiving end of a ControlChannel. SwitchAgent (switch-side apply
+// pipeline) and the telemetry CollectorEndpoint (controller-side collector)
+// both implement it, so one channel class serves both directions of the
+// control plane. deliver() receives a transported request and must
+// eventually invoke `on_reply` (when non-empty) exactly once — the reliable
+// channel turns that reply into the ack that stops retransmission.
+class ControlEndpoint {
+ public:
+  using ReplyHandler = std::function<void(const Reply&)>;
+
+  virtual ~ControlEndpoint() = default;
+  virtual void deliver(const Request& request, ReplyHandler on_reply) = 0;
+};
 
 }  // namespace difane

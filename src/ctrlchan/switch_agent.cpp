@@ -80,6 +80,11 @@ void SwitchAgent::apply(const Request& request, const ReplyHandler& on_reply) {
             reply.entries = collect_stats(switch_, msg.origin);
             on_reply(reply);
           }
+        } else if constexpr (std::is_same_v<T, FlowExport>) {
+          // A switch agent is not a collector; export batches terminate at a
+          // CollectorEndpoint. Still ack so a misdirected batch cannot wedge
+          // a reliable channel behind an unackable message.
+          if (on_reply) on_reply(FlowExportAck{msg.xid, msg.batch.seq});
         }
       },
       request);

@@ -19,9 +19,9 @@ struct SwitchAgentParams {
   double packet_out_cost = 1e-5;
 };
 
-class SwitchAgent {
+class SwitchAgent : public ControlEndpoint {
  public:
-  using ReplyHandler = std::function<void(const Reply&)>;
+  using ReplyHandler = ControlEndpoint::ReplyHandler;
   // Invoked when a PacketOut is applied: the embedding system decides what
   // "executing the action at this switch" means (forwarding lives in core/).
   using PacketOutHandler = std::function<void(const PacketOut&)>;
@@ -32,7 +32,7 @@ class SwitchAgent {
   // Deliver a request to the agent (already transported; the channel adds
   // propagation latency). Requests are applied in delivery order; the reply
   // is emitted through `on_reply` when the request finishes applying.
-  void deliver(const Request& request, ReplyHandler on_reply = {});
+  void deliver(const Request& request, ReplyHandler on_reply = {}) override;
 
   void set_packet_out_handler(PacketOutHandler handler) {
     packet_out_ = std::move(handler);

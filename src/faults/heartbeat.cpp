@@ -25,7 +25,20 @@ void HeartbeatMonitor::note_message_from(SwitchId sw) {
   }
 }
 
+void HeartbeatMonitor::note_liveness(SwitchId sw, std::uint64_t beat_seq) {
+  // Fresh iff stamped within miss_threshold ticks of the monitor's counter —
+  // the same slack the miss counter itself grants, so transit/retransmission
+  // delay up to threshold x interval cannot turn live evidence stale.
+  if (beat_seq + params_.miss_threshold < tick_seq_) {
+    ++piggyback_stale_;
+    return;
+  }
+  ++piggyback_fresh_;
+  note_message_from(sw);
+}
+
 void HeartbeatMonitor::tick() {
+  ++tick_seq_;
   const double now = net_.engine().now();
   for (auto& w : watched_) {
     // A failed switch emits nothing; a live switch's beat can still be lost

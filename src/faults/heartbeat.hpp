@@ -51,6 +51,23 @@ class HeartbeatMonitor {
   // nothing.
   void note_message_from(SwitchId sw);
 
+  // Piggybacked liveness: telemetry export batches stamp the heartbeat tick
+  // index current when they left the switch (beat_seq = floor(send_time /
+  // interval)). A batch is accepted as a beat only while its stamp is fresh —
+  // within miss_threshold ticks of the monitor's own tick counter — so a
+  // batch retransmitted across a long partition cannot resurrect a switch
+  // with stale evidence. Fresh stamps reset the miss counter exactly like
+  // note_message_from; stale ones are counted and ignored. This is what lets
+  // the monitor tell a *quiet* authority (no installs, no acks, but exports
+  // or keepalives still flowing) from a *partitioned* one.
+  void note_liveness(SwitchId sw, std::uint64_t beat_seq);
+
+  // Monitor-side tick counter (ticks fired so far); tick k fires at time
+  // k * interval, which is what makes beat_seq stamps comparable to it.
+  std::uint64_t tick_seq() const { return tick_seq_; }
+  std::uint64_t piggyback_fresh() const { return piggyback_fresh_; }
+  std::uint64_t piggyback_stale() const { return piggyback_stale_; }
+
   std::uint64_t beats_heard() const { return beats_heard_; }
   std::uint64_t beats_missed() const { return beats_missed_; }
   std::uint64_t failures_declared() const { return failures_declared_; }
@@ -75,11 +92,14 @@ class HeartbeatMonitor {
   std::vector<WatchState> watched_;
   Callback on_failure_;
   Callback on_recovery_;
+  std::uint64_t tick_seq_ = 0;
   std::uint64_t beats_heard_ = 0;
   std::uint64_t beats_missed_ = 0;
   std::uint64_t failures_declared_ = 0;
   std::uint64_t recoveries_declared_ = 0;
   std::uint64_t spurious_failovers_ = 0;
+  std::uint64_t piggyback_fresh_ = 0;
+  std::uint64_t piggyback_stale_ = 0;
 };
 
 }  // namespace difane

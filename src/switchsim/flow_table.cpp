@@ -15,6 +15,17 @@ const char* band_name(Band band) {
   return "?";
 }
 
+const char* cache_removal_name(CacheRemoval cause) {
+  switch (cause) {
+    case CacheRemoval::kEvicted: return "evicted";
+    case CacheRemoval::kExpired: return "expired";
+    case CacheRemoval::kRemoved: return "removed";
+    case CacheRemoval::kCascaded: return "cascaded";
+    case CacheRemoval::kCleared: return "cleared";
+  }
+  return "?";
+}
+
 FlowTable::FlowTable(std::size_t cache_capacity, std::size_t hw_capacity)
     : cache_capacity_(cache_capacity), hw_capacity_(hw_capacity) {}
 
@@ -299,6 +310,7 @@ void FlowTable::cascade_remove_dependents(std::vector<RuleId> removed_ids) {
       if (bit == cache.by_id.end()) continue;
       const std::uint32_t slot = bit->second;
       retire(slab_[slot]);
+      notify_removal(slab_[slot], CacheRemoval::kCascaded);
       erase_entry(slot, Band::kCache);
       ++stats_.cascade_evictions;
       removed_ids.push_back(id);
@@ -317,6 +329,7 @@ void FlowTable::evict_lru_cache(double now) {
     if (slab_[slot].last_hit < slab_[victim].last_hit) victim = slot;
   }
   retire(slab_[victim]);
+  notify_removal(slab_[victim], CacheRemoval::kEvicted);
   const RuleId gone = slab_[victim].rule.id;
   erase_entry(victim, Band::kCache);
   ++stats_.evictions;
@@ -329,6 +342,7 @@ bool FlowTable::remove(RuleId id, Band band) {
   if (it == bs.by_id.end()) return false;
   const std::uint32_t slot = it->second;
   retire(slab_[slot]);
+  if (band == Band::kCache) notify_removal(slab_[slot], CacheRemoval::kRemoved);
   erase_entry(slot, band);
   if (band == Band::kCache) cascade_remove_dependents({id});
   return true;
@@ -338,6 +352,7 @@ void FlowTable::clear_band(Band band) {
   BandState& bs = bands_[index(band)];
   for (const std::uint32_t slot : bs.order) {
     retire(slab_[slot]);
+    if (band == Band::kCache) notify_removal(slab_[slot], CacheRemoval::kCleared);
     release_slot(slot);
   }
   bs.order.clear();
@@ -372,6 +387,7 @@ std::size_t FlowTable::expire(double now) {
       if (first_removed > i) first_removed = i;
       retire(e);
       if (is_cache) {
+        notify_removal(e, CacheRemoval::kExpired);
         expired_cache.push_back(e.rule.id);
         unlink_cache_aux(slot);
         unlink_guards(slot);

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <unordered_map>
@@ -33,6 +34,18 @@ enum class Band : std::uint8_t { kCache = 0, kAuthority = 1, kPartition = 2 };
 inline constexpr std::size_t kNumBands = 3;
 
 const char* band_name(Band band);
+
+// Why a cache entry left the table. Reported through the removal listener so
+// layers above (the telemetry flush path) can react per cause.
+enum class CacheRemoval : std::uint8_t {
+  kEvicted = 0,   // LRU victim on a full cache
+  kExpired,       // idle/hard timeout sweep
+  kRemoved,       // explicit remove() (controller delete, failover purge)
+  kCascaded,      // guard left; safety cascade took the dependent with it
+  kCleared,       // clear_band(kCache) — crash/reset wipes
+};
+
+const char* cache_removal_name(CacheRemoval cause);
 
 struct FlowEntry {
   Rule rule;
@@ -161,6 +174,17 @@ class FlowTable {
 
   const FlowTableStats& stats() const { return stats_; }
 
+  // Observes every cache-band entry leaving the table. Fired once per entry,
+  // with the entry still fully intact (rule, counters, guards) and the cause
+  // of its removal, immediately before the slot is recycled. The listener
+  // runs mid-removal and MUST NOT mutate this table; buffer and act later.
+  // The telemetry layer hangs its eviction-flush semantics off this hook —
+  // an evicted elephant's pending counts are exported instead of vanishing.
+  using RemovalListener = std::function<void(const FlowEntry&, CacheRemoval)>;
+  void set_removal_listener(RemovalListener listener) {
+    removal_listener_ = std::move(listener);
+  }
+
   // Counters of removed entries (timeout, eviction, explicit delete),
   // accumulated per origin rule. A real switch reports these in
   // flow-removed messages; keeping them lets per-policy-rule statistics
@@ -213,6 +237,10 @@ class FlowTable {
   // Remove a (already retired) entry from every index of its band.
   void erase_entry(std::uint32_t slot, Band band);
 
+  void notify_removal(const FlowEntry& entry, CacheRemoval cause) {
+    if (removal_listener_) removal_listener_(entry, cause);
+  }
+
   // Shared winner selection for lookup/peek: first live match in cache
   // (exact fast path + wildcard scan), then authority, then partition.
   const FlowEntry* find_live_match(const BitVec& packet, double now) const;
@@ -253,6 +281,7 @@ class FlowTable {
 
   FlowTableStats stats_;
   std::unordered_map<RuleId, RetiredCounters> retired_;
+  RemovalListener removal_listener_;
 };
 
 }  // namespace difane

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <mutex>
+#include <unordered_map>
 
 #include "util/contract.hpp"
 
@@ -299,6 +300,24 @@ std::vector<FlowSpec> TrafficGenerator::generate_diurnal() {
     flows.push_back(std::move(flow));
   }
   return flows;
+}
+
+std::vector<FlowTruth> flow_ground_truth(const std::vector<FlowSpec>& flows,
+                                         std::uint64_t bytes_per_packet) {
+  std::vector<FlowTruth> truth;
+  std::unordered_map<BitVec, std::size_t> index;
+  for (const auto& flow : flows) {
+    auto [it, fresh] = index.try_emplace(flow.header, truth.size());
+    if (fresh) {
+      FlowTruth t;
+      t.header = flow.header;
+      truth.push_back(std::move(t));
+    }
+    FlowTruth& t = truth[it->second];
+    t.packets += flow.packets;
+    t.bytes += static_cast<std::uint64_t>(flow.packets) * bytes_per_packet;
+  }
+  return truth;
 }
 
 }  // namespace difane

@@ -85,6 +85,19 @@ struct TrafficParams {
   std::size_t diurnal_rotate = 0;    // popular-set shift per period (ranks)
 };
 
+// Exact per-header volume of an arrival schedule: every packet of every
+// flow, merged by header (pool headers are shared across FlowSpecs) in
+// first-appearance order — the same key and order the telemetry
+// FlowCollector reports, so bench_e12 can compare estimates positionally.
+struct FlowTruth {
+  BitVec header;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+std::vector<FlowTruth> flow_ground_truth(const std::vector<FlowSpec>& flows,
+                                         std::uint64_t bytes_per_packet = 100);
+
 class TrafficGenerator {
  public:
   TrafficGenerator(const RuleTable& policy, TrafficParams params);

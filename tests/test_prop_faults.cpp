@@ -411,5 +411,40 @@ TEST(Chaos, MiceBypassConservesAllMice) {
   EXPECT_TRUE(report.clean()) << report.summary();
 }
 
+// Telemetry under chaos: run the measurement plane through the same random
+// fault plans (lossy/duplicating/jittering wire, failed installs, an
+// authority crash + failover — whose cached-redirect purge flushes pending
+// counter state through the removal listener). Sampled counts must be
+// conserved no matter what the plan does: everything a switch counted either
+// reached the collector (the reliable export channel retransmits through the
+// loss) or was explicitly drop-counted (crash-lost state, flush-off
+// evictions) — never silently lost.
+DIFANE_PROPERTY(ChaosTelemetryConservation, 40) {
+  ChaosCase c = gen_chaos_case(ctx.rng, ctx.case_seed);
+  c.params.measurement.enabled = true;
+  c.params.measurement.sample_prob = ctx.rng.bernoulli(0.5) ? 1.0 : 0.5;
+  c.params.measurement.export_interval = 0.02;
+  c.params.measurement.export_horizon = 0.3;
+  c.params.measurement.flush_on_evict = ctx.rng.bernoulli(0.7);
+  c.params.measurement.seed = ctx.case_seed;
+  Scenario scenario(c.policy, c.params);
+  const auto& stats = scenario.run(c.flows);
+
+  std::uint64_t collected = 0;
+  for (const auto& [header, totals] : scenario.collector().flows()) {
+    (void)header;
+    collected += totals.sampled_packets;
+  }
+  EXPECT_EQ(collected + stats.telemetry_dropped_packets,
+            stats.telemetry_sampled_packets)
+      << "seed 0x" << std::hex << ctx.case_seed << std::dec << " "
+      << c.params.faults.to_string() << "\nsampled "
+      << stats.telemetry_sampled_packets << " collected " << collected
+      << " dropped " << stats.telemetry_dropped_packets;
+  // The crash happened; its lost counter state (if any) is visible as drops,
+  // and the piggyback counters only ever see batches from live epochs.
+  EXPECT_EQ(stats.authority_crashes, 1u);
+}
+
 }  // namespace
 }  // namespace difane

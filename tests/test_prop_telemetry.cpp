@@ -1,0 +1,150 @@
+// Telemetry property suite (`ctest -L property`): seeded random traffic
+// through a measured DIFANE scenario, three guarantees:
+//
+//  * Fidelity: per-flow estimated volume tracks the TrafficGenerator's exact
+//    ground truth within the binomial sampling error bound, across sampling
+//    rates — 100+ independent seeded streams.
+//  * Conservation: every sampled packet is either collected or drop-counted,
+//    never silently lost, including under record-table overflow.
+//  * Replay: the collector's export stream is a pure function of
+//    (seed, params) — byte-identical across runs, and actually seed-sensitive
+//    (a different sampler seed perturbs the stream).
+//
+// Replay a failure with DIFANE_PROPTEST_REPLAY=0x<seed> ./test_prop_telemetry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/system.hpp"
+#include "proptest/property.hpp"
+#include "workload/rulegen.hpp"
+#include "workload/trafficgen.hpp"
+
+namespace difane {
+namespace {
+
+// One policy for the whole sweep (policy generation is not what is under
+// test); each case draws its own traffic seed and measurement knobs.
+const RuleTable& sweep_policy() {
+  static const RuleTable policy = [] {
+    RuleGenParams params;
+    params.num_rules = 150;
+    params.seed = 77;
+    return generate_policy(params);
+  }();
+  return policy;
+}
+
+struct TelemetryCase {
+  ScenarioParams params;
+  std::vector<FlowSpec> flows;
+};
+
+TelemetryCase gen_case(Rng& rng, std::uint64_t case_seed) {
+  TelemetryCase c;
+  auto& p = c.params;
+  p.mode = Mode::kDifane;
+  p.edge_switches = 2 + rng.uniform(0, 2);
+  p.core_switches = 2;
+  p.authority_count = 2;
+  p.edge_cache_capacity = rng.bernoulli(0.3) ? 32 : 400;  // sometimes churn
+  p.partitioner.capacity = 200;
+  p.measurement.enabled = true;
+  static constexpr double kRates[] = {0.1, 0.25, 0.5, 1.0};
+  p.measurement.sample_prob = kRates[rng.uniform(0, 3)];
+  p.measurement.export_interval = 0.02 + rng.uniform01() * 0.05;
+  p.measurement.export_horizon = 0.5;
+  p.measurement.seed = case_seed;
+
+  TrafficParams tp;
+  tp.seed = case_seed ^ 0x5f5f5f5f;
+  tp.flow_pool = 150;
+  tp.zipf_s = 0.8 + rng.uniform01() * 0.4;
+  tp.arrival_rate = 1500.0 + rng.uniform01() * 1500.0;
+  tp.duration = 0.3;
+  tp.mean_packets = 4.0 + rng.uniform01() * 8.0;
+  tp.ingress_count = static_cast<std::uint32_t>(p.edge_switches);
+  TrafficGenerator gen(sweep_policy(), tp);
+  c.flows = gen.generate();
+  return c;
+}
+
+std::uint64_t collected_sampled_packets(const obs::FlowCollector& collector) {
+  std::uint64_t total = 0;
+  for (const auto& [header, totals] : collector.flows()) {
+    (void)header;
+    total += totals.sampled_packets;
+  }
+  return total;
+}
+
+// 100+ seeded streams: every flow's estimate lands within a 6-sigma binomial
+// envelope of its exact offered volume (sigma = sqrt(n (1-p) / p)), with a
+// floor of 3/p for flows too small for the normal approximation. Terminal
+// sampling sees exactly the offered packets (no queue losses at these
+// rates), so the envelope is the whole error budget.
+DIFANE_PROPERTY(TelemetryEstimateWithinSamplingBound, 100) {
+  TelemetryCase c = gen_case(ctx.rng, ctx.case_seed);
+  Scenario scenario(sweep_policy(), c.params);
+  const auto& stats = scenario.run(c.flows);
+  ASSERT_EQ(stats.queue_rejects, 0u)
+      << "seed 0x" << std::hex << ctx.case_seed
+      << ": saturated authority invalidates the ground-truth comparison";
+
+  const double p = c.params.measurement.sample_prob;
+  const auto truth = flow_ground_truth(c.flows);
+  const auto& collector = scenario.collector();
+  for (const auto& t : truth) {
+    const auto* totals = collector.find(t.header);
+    const double est = totals == nullptr ? 0.0 : totals->estimated_packets;
+    const double n = static_cast<double>(t.packets);
+    const double bound = std::max(6.0 * std::sqrt(n * (1.0 - p) / p), 3.0 / p);
+    EXPECT_LE(std::abs(est - n), bound)
+        << "seed 0x" << std::hex << ctx.case_seed << std::dec << " p=" << p
+        << " true=" << n << " est=" << est;
+  }
+  // At p == 1 the estimate is exact — the bound above is not doing the work.
+  if (p == 1.0 && stats.telemetry_overflow_drops == 0) {
+    EXPECT_EQ(stats.telemetry_sampled_packets, stats.tracer.injected());
+  }
+}
+
+// Sampled counts are conserved: everything the switches counted either
+// reached the collector or was explicitly drop-counted (overflow, flush-off
+// evictions) — even when a tiny record table overflows.
+DIFANE_PROPERTY(TelemetryConservation, 50) {
+  TelemetryCase c = gen_case(ctx.rng, ctx.case_seed);
+  c.params.measurement.flush_on_evict = ctx.rng.bernoulli(0.5);
+  if (ctx.rng.bernoulli(0.4)) c.params.measurement.record_capacity = 16;
+  Scenario scenario(sweep_policy(), c.params);
+  const auto& stats = scenario.run(c.flows);
+
+  EXPECT_EQ(collected_sampled_packets(scenario.collector()) +
+                stats.telemetry_dropped_packets,
+            stats.telemetry_sampled_packets)
+      << "seed 0x" << std::hex << ctx.case_seed;
+}
+
+// The export stream is a pure function of (seed, params): two runs dump
+// byte-identical JSON, and changing only the sampler seed (at p < 1, where
+// the seed drives real decisions) changes the stream.
+DIFANE_PROPERTY(TelemetryReplayByteIdenticalBySeed, 25) {
+  TelemetryCase c = gen_case(ctx.rng, ctx.case_seed);
+  c.params.measurement.sample_prob = 0.5;  // seed-sensitive by construction
+  const auto stream_of = [&](std::uint64_t measurement_seed) {
+    auto params = c.params;
+    params.measurement.seed = measurement_seed;
+    Scenario scenario(sweep_policy(), params);
+    scenario.run(c.flows);
+    return scenario.collector().stream_dump();
+  };
+  const std::string first = stream_of(ctx.case_seed);
+  const std::string second = stream_of(ctx.case_seed);
+  EXPECT_EQ(first, second) << "seed 0x" << std::hex << ctx.case_seed;
+  EXPECT_NE(first, stream_of(ctx.case_seed + 1))
+      << "seed 0x" << std::hex << ctx.case_seed;
+}
+
+}  // namespace
+}  // namespace difane

@@ -298,6 +298,68 @@ TEST(Validate, RejectsElephantMisWiresNamingTheField) {
   EXPECT_NO_THROW(params.validate());
 }
 
+// Measurement knobs (the telemetry data plane's single validated config
+// block): nonsensical values must be rejected with the offending field
+// named, and every knob is dormant while measurement.enabled is false.
+TEST(Validate, RejectsMeasurementMisWiresNamingTheField) {
+  const auto field_of = [](ScenarioParams params) -> std::string {
+    try {
+      params.validate();
+    } catch (const ConfigError& e) {
+      return e.field();
+    }
+    return "";
+  };
+  const auto good_measurement = [] {
+    ScenarioParams params = good_params();
+    params.measurement.enabled = true;
+    params.measurement.sample_prob = 0.25;
+    params.measurement.export_interval = 0.05;
+    params.measurement.export_horizon = 1.0;
+    return params;
+  };
+
+  EXPECT_NO_THROW(good_measurement().validate());
+
+  // Measurement samples DIFANE-installed entries; NOX installs none.
+  ScenarioParams params = good_measurement();
+  params.mode = Mode::kNox;
+  EXPECT_EQ(field_of(params), "measurement.enabled");
+
+  params = good_measurement();
+  params.measurement.sample_prob = 0.0;
+  EXPECT_EQ(field_of(params), "measurement.sample_prob");
+
+  params = good_measurement();
+  params.measurement.sample_prob = 1.5;
+  EXPECT_EQ(field_of(params), "measurement.sample_prob");
+
+  params = good_measurement();
+  params.measurement.export_interval = 0.0;
+  EXPECT_EQ(field_of(params), "measurement.export_interval");
+
+  params = good_measurement();
+  params.measurement.export_horizon = 0.0;  // tick chain would never end
+  EXPECT_EQ(field_of(params), "measurement.export_horizon");
+
+  params = good_measurement();
+  params.measurement.export_latency = -1e-4;
+  EXPECT_EQ(field_of(params), "measurement.export_latency");
+
+  params = good_measurement();
+  params.measurement.record_capacity = 0;
+  EXPECT_EQ(field_of(params), "measurement.record_capacity");
+
+  // Every knob is dormant while measurement is off.
+  params = good_measurement();
+  params.measurement.enabled = false;
+  params.measurement.sample_prob = -1.0;
+  params.measurement.export_interval = 0.0;
+  params.measurement.export_horizon = -1.0;
+  params.measurement.record_capacity = 0;
+  EXPECT_NO_THROW(params.validate());
+}
+
 TEST(Validate, ConfigErrorIsAContractViolation) {
   // Legacy callers catch contract_violation; the refined type must still
   // satisfy them.

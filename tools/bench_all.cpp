@@ -1,4 +1,4 @@
-// Bench-pipeline orchestrator: runs every experiment binary (E1-E10, A1-A2)
+// Bench-pipeline orchestrator: runs every experiment binary (E1-E12, A1-A3)
 // with the unified `--json` flag, in parallel from a small thread pool, and
 // merges the per-experiment BENCH_<id>.json reports into a single trajectory
 // file (schema difane-bench-trajectory-v1). The trajectory is the unit the
@@ -39,6 +39,7 @@ constexpr BenchSpec kBenches[] = {
     {"E8", "bench_e8_stretch"},
     {"E9", "bench_e9_failover"},
     {"E10", "bench_e10_classifier"},
+    {"E12", "bench_e12_telemetry"},
     {"A1", "bench_a1_cache_planner"},
     {"A2", "bench_a2_replication"},
     {"A3", "bench_a3_fastpath"},

@@ -58,9 +58,10 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 echo "== chaos: ctest -L chaos =="
 ctest --test-dir build --output-on-failure -L chaos -j "$jobs"
 
-# Same treatment for the property suites (flow-table/cache differentials and
-# the heavy-hitter sketch bounds): they run in the full pass above, but a
-# labeled re-run names the regression. Failures print a replay seed usable as
+# Same treatment for the property suites (flow-table/cache differentials,
+# the heavy-hitter sketch bounds, and the telemetry error-bound/conservation/
+# replay suite): they run in the full pass above, but a labeled re-run names
+# the regression. Failures print a replay seed usable as
 # DIFANE_PROPTEST_REPLAY=0x<seed> ./build/tests/test_prop_<suite>
 echo "== property: ctest -L property =="
 ctest --test-dir build --output-on-failure -L property -j "$jobs"
