@@ -157,6 +157,7 @@ int main(int argc, char** argv) {
       params.timings.cache_idle_timeout = 0.035;
       params.elephants = elephant_policy(on);
       params.occupancy_sample_at = ht_duration;
+      apply_exec_args(params, args);
       Scenario scenario(churn_policy, params);
       TrafficGenerator gen(churn_policy,
                            heavy_tail_params(rep.seed, cr.alpha, ht_rate,

@@ -2,6 +2,7 @@
 
 #include "util/contract.hpp"
 #include "util/log.hpp"
+#include "util/spsc_ring.hpp"
 
 namespace difane {
 
@@ -188,6 +189,20 @@ void validate_execution(const ScenarioParams& p) {
     throw ConfigError("threads",
                       "the sharded engine's conservative lookahead is the link "
                       "latency; threads > 1 needs link.latency > 0");
+  }
+  if (!util::is_power_of_two(p.shard_ring_capacity)) {
+    throw ConfigError("shard_ring_capacity",
+                      "SPSC outbox rings index with a mask; capacity must be "
+                      "a power of two (>= 1)");
+  }
+  if (p.burst > p.shard_ring_capacity) {
+    throw ConfigError("burst",
+                      "a burst of " + std::to_string(p.burst) +
+                          " packets can emit more cross-shard messages per "
+                          "window than the " +
+                          std::to_string(p.shard_ring_capacity) +
+                          "-slot outbox ring holds; raise "
+                          "shard_ring_capacity or shrink burst");
   }
 }
 
@@ -572,7 +587,8 @@ void Scenario::build_shards() {
     }
   }
   exec_ = std::make_unique<shard::Executor>(
-      n_shards, params_.threads, params_.link.latency, &net_.engine());
+      n_shards, params_.threads, params_.link.latency, &net_.engine(),
+      params_.shard_ring_capacity);
   shard_stats_.resize(n_shards);
 }
 
@@ -825,7 +841,11 @@ const ScenarioStats& Scenario::run(const std::vector<FlowSpec>& flows) {
       stats_.cache_entries_final = live_cache_entries(net_.engine().now());
     });
   }
-  for (const auto& flow : flows) inject(flow);
+  if (params_.burst > 0) {
+    inject_bursts(flows);
+  } else {
+    for (const auto& flow : flows) inject(flow);
+  }
   if (exec_ != nullptr) {
     // Routes must exist before shard threads read next_hop() concurrently;
     // they are recomputed at the barrier after any window that ran global
@@ -914,6 +934,71 @@ void Scenario::inject(const FlowSpec& flow) {
   }
 }
 
+void Scenario::inject_bursts(const std::vector<FlowSpec>& flows) {
+  burst_plan_ = coalesce_bursts(
+      flows, static_cast<std::uint32_t>(topo_.edge.size()), params_.burst);
+  for (const auto& b : burst_plan_.bursts) {
+    const SwitchId ingress = topo_.edge[b.group];
+    const double when = burst_plan_.groups[b.group][b.begin].at;
+    auto handler = [this, b]() { process_burst(b.group, b.begin, b.end); };
+    static_assert(Engine::Handler::fits_inline<decltype(handler)>,
+                  "burst event handler must not allocate");
+    schedule_at_switch(ingress, when, std::move(handler));
+  }
+}
+
+// Drain one burst's arrivals, one packet at a time, at each packet's own
+// clock. Two deferral rules keep event interleaving — and therefore every
+// observable stream — byte-identical to the scalar per-packet path:
+//  * an engine event pending strictly before the next arrival runs first
+//    (the scalar heap would pop it first; at equal times the packet wins
+//    the FIFO tie-break, exactly like the inject-time event it replaces);
+//  * an arrival at or past the engine's horizon belongs to a later window
+//    (run_before would not have popped its per-packet event).
+// Either way the remainder reschedules at the next arrival's own time, so
+// the shard's peek_time() sequence — which sizes conservative windows —
+// also matches the scalar run's.
+void Scenario::process_burst(std::uint32_t group, std::uint32_t begin,
+                             std::uint32_t end) {
+  const auto& arrivals = burst_plan_.groups[group];
+  const SwitchId at = topo_.edge[group];
+  std::uint32_t i = begin;
+  while (i < end) {
+    // Chunk of up to kMaxBatch arrivals: memoize exact-match heads and
+    // prefetch their slab entries before resolving any of them.
+    const std::uint32_t chunk_end =
+        std::min<std::uint32_t>(end, i + FlowTable::kMaxBatch);
+    FlowTable& table = net_.sw(at).table();
+    const BitVec* keys[FlowTable::kMaxBatch];
+    for (std::uint32_t k = i; k < chunk_end; ++k) {
+      keys[k - i] = &arrivals[k].header;
+    }
+    FlowTable::BatchState batch;
+    table.lookup_prefetch(keys, chunk_end - i, batch);
+    for (std::uint32_t k = i; k < chunk_end; ++k) {
+      const auto& a = arrivals[k];
+      Engine& eng = cur_engine();
+      if (eng.peek_time() < a.at || a.at >= eng.horizon()) {
+        auto cont = [this, group, k, end]() { process_burst(group, k, end); };
+        static_assert(Engine::Handler::fits_inline<decltype(cont)>,
+                      "burst continuation must not allocate");
+        schedule_at_switch(at, a.at, std::move(cont));
+        return;
+      }
+      eng.advance_to(a.at);
+      Packet pkt;
+      pkt.flow = a.flow;
+      pkt.header = a.header;
+      pkt.created = a.at;
+      pkt.ingress = at;
+      pkt.is_first_of_flow = a.first;
+      st().tracer.on_injected(pkt);
+      process_injected(at, pkt, batch, k - i);
+    }
+    i = chunk_end;
+  }
+}
+
 void Scenario::dispose(const Packet& pkt, bool delivered, DropReason reason) {
   const double now = cur_engine().now();
   ScenarioStats& s = st();
@@ -956,6 +1041,30 @@ void Scenario::process(SwitchId at, Packet pkt) {
   }
   const double now = cur_engine().now();
   const FlowEntry* entry = sw.table().lookup(pkt.header, now, pkt.bytes);
+  process_lookup_result(at, pkt, entry, now);
+}
+
+// process() for a freshly injected packet whose exact-match chain head was
+// memoized (and prefetched) by FlowTable::lookup_prefetch. Injected packets
+// carry no encap/tunnel state, so the transit branches of process() cannot
+// apply; everything else is the scalar path verbatim.
+void Scenario::process_injected(SwitchId at, const Packet& pkt,
+                                const FlowTable::BatchState& batch,
+                                std::size_t slot) {
+  obs_packets_->inc();
+  Switch& sw = net_.sw(at);
+  if (sw.failed()) {
+    dispose(pkt, false, DropReason::kSwitchFailed);
+    return;
+  }
+  const double now = cur_engine().now();
+  const FlowEntry* entry =
+      sw.table().lookup_prepared(pkt.header, slot, batch, now, pkt.bytes);
+  process_lookup_result(at, pkt, entry, now);
+}
+
+void Scenario::process_lookup_result(SwitchId at, Packet pkt,
+                                     const FlowEntry* entry, double now) {
   if (entry == nullptr) {
     if (params_.mode == Mode::kNox && at == pkt.ingress) {
       punt_to_controller(pkt);

@@ -140,6 +140,22 @@ struct ScenarioParams {
   // "Parallel execution" section.
   std::size_t threads = 1;
 
+  // Burst-mode data plane (NDN-DPDK shape). 0 (the default) schedules one
+  // engine event per injected packet — the classic scalar path. N > 0
+  // coalesces up to N consecutive same-ingress packet arrivals into one
+  // burst event whose handler batch-resolves FlowTable lookups (hash +
+  // software prefetch over the entry slab first, then per-packet resolve at
+  // each packet's own advanced clock). Observable behavior — stats,
+  // telemetry export stream, verifier state, Rng draw order — is
+  // byte-identical to the scalar path; test_prop_burst replays 100 seeds
+  // against exactly that contract. Typical sweet spot: 32–64.
+  std::size_t burst = 0;
+
+  // Capacity (power of two) of each shard's SPSC outbox ring in the sharded
+  // executor; only meaningful at threads > 1. Windows that emit more
+  // cross-shard messages spill to a fallback vector — correct, just slower.
+  std::size_t shard_ring_capacity = 1024;
+
   // Reject mis-wired parameter combinations before any topology or control
   // plane is built. Throws difane::ConfigError naming the offending field.
   // The Scenario constructor calls this; call it yourself to fail fast when
@@ -295,6 +311,21 @@ class Scenario {
   void finalize_measurement();
   void inject(const FlowSpec& flow);
   void process(SwitchId at, Packet pkt);
+  // Burst-mode data plane (params_.burst > 0): one engine event per burst of
+  // consecutive same-ingress arrivals instead of one per packet. The handler
+  // advances the clock packet by packet, deferring the remainder whenever an
+  // earlier engine event is pending or the window horizon is reached — so
+  // event interleaving, and with it every observable stream, matches the
+  // scalar path.
+  void inject_bursts(const std::vector<FlowSpec>& flows);
+  void process_burst(std::uint32_t group, std::uint32_t begin,
+                     std::uint32_t end);
+  void process_injected(SwitchId at, const Packet& pkt,
+                        const FlowTable::BatchState& batch, std::size_t slot);
+  // Tail shared by process() and process_injected(): miss handling, ingress
+  // accounting, hit verification, telemetry sampling, action dispatch.
+  void process_lookup_result(SwitchId at, Packet pkt, const FlowEntry* entry,
+                             double now);
   void handle_authority(SwitchId at, Packet pkt);
   void punt_to_controller(Packet pkt);
   void apply_action(SwitchId at, Packet pkt, const Action& action);
@@ -378,6 +409,9 @@ class Scenario {
   std::unique_ptr<shard::Executor> exec_;
   std::vector<std::uint32_t> shard_of_;   // switch -> shard
   std::uint32_t ctrl_shard_ = 0;          // NOX controller's home shard
+  // Burst-mode arrival schedule (params_.burst > 0 only): stable storage the
+  // burst handlers index into, so each event captures just {group, range}.
+  BurstPlan burst_plan_;
   std::vector<ScenarioStats> shard_stats_;
   ScenarioStats stats_;
   // Process-wide observability hooks, resolved once here so the per-packet

@@ -20,18 +20,23 @@ thread_local Ctx t_ctx;
 std::uint32_t current_shard() { return t_ctx.shard; }
 
 Executor::Executor(std::size_t shards, std::size_t threads, SimTime lookahead,
-                   Engine* global)
+                   Engine* global, std::size_t ring_capacity)
     : global_(global), lookahead_(lookahead) {
   expects(shards >= 1, "Executor: need at least one shard");
   expects(lookahead > 0.0,
           "Executor: conservative windows need a positive lookahead "
           "(minimum link latency)");
   expects(global != nullptr, "Executor: need a global engine");
+  expects(util::is_power_of_two(ring_capacity),
+          "Executor: ring capacity must be a power of two");
   engines_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     engines_.push_back(std::make_unique<Engine>());
   }
-  outboxes_.resize(shards);
+  outboxes_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    outboxes_.push_back(std::make_unique<Outbox>(ring_capacity));
+  }
   const std::size_t workers = std::min(threads, shards);
   if (workers >= 2) {
     worker_shards_.resize(workers);
@@ -65,7 +70,7 @@ void Executor::schedule(std::uint32_t target, SimTime when, Engine::Handler fn) 
       engines_[target]->at(when, std::move(fn));
       return;
     }
-    outboxes_[t_ctx.shard].push_back(Msg{when, target, std::move(fn)});
+    outbox_push(t_ctx.shard, Msg{when, target, std::move(fn)});
     return;
   }
   // Coordinator / setup context: workers are parked, direct insert is safe
@@ -76,7 +81,7 @@ void Executor::schedule(std::uint32_t target, SimTime when, Engine::Handler fn) 
 
 void Executor::schedule_global(SimTime when, Engine::Handler fn) {
   if (t_ctx.shard != kNoShard) {
-    outboxes_[t_ctx.shard].push_back(Msg{when, kGlobalTarget, std::move(fn)});
+    outbox_push(t_ctx.shard, Msg{when, kGlobalTarget, std::move(fn)});
     return;
   }
   global_->at(std::max(when, global_->now()), std::move(fn));
@@ -167,9 +172,15 @@ void Executor::run(const std::function<void()>& post_global) {
       }
     }
 
-    for (auto& ob : outboxes_) {
-      for (auto& m : ob) msgs.push_back(std::move(m));
-      ob.clear();
+    // Drain in shard order, ring before overflow, preserving each shard's
+    // FIFO send order — the stable sort in deliver() then realizes the
+    // deterministic (when, src shard, seq) key exactly as before.
+    for (auto& obp : outboxes_) {
+      Outbox& ob = *obp;
+      Msg m;
+      while (ob.ring.try_pop(m)) msgs.push_back(std::move(m));
+      for (auto& v : ob.overflow) msgs.push_back(std::move(v));
+      ob.overflow.clear();
     }
     deliver(msgs, wend);
 

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "netsim/engine.hpp"
+#include "util/spsc_ring.hpp"
 
 namespace difane::shard {
 
@@ -56,8 +57,13 @@ class Executor {
   // threads execute `shards` shard engines; shards are assigned to workers
   // round-robin, so threads > shards wastes nothing and shards > threads
   // just runs several shards per worker.
+  // `ring_capacity` sizes each shard's SPSC outbox ring (power of two); a
+  // window that emits more cross-shard messages than that spills to a plain
+  // vector, trading the lock-free hand-off for correctness, never blocking.
   Executor(std::size_t shards, std::size_t threads, SimTime lookahead,
-           Engine* global);
+           Engine* global, std::size_t ring_capacity = kDefaultRingCapacity);
+
+  static constexpr std::size_t kDefaultRingCapacity = 1024;
   ~Executor();
 
   Executor(const Executor&) = delete;
@@ -108,9 +114,25 @@ class Executor {
   SimTime lookahead_;
 
   // One outbox per shard (not per worker): a shard runs on exactly one
-  // thread per window, so outbox writes are unsynchronized within the window
-  // and published to the coordinator by the barrier below.
-  std::vector<std::vector<Msg>> outboxes_;
+  // thread per window — the single producer — and the coordinator drains at
+  // the barrier — the single consumer. The ring's acquire/release pairs
+  // publish messages without taking the barrier mutex per message; the
+  // overflow vector (rare: ring full) rides the barrier's mutex hand-off
+  // instead. Once a window overflows, later messages go to the vector too,
+  // so per-shard FIFO order survives (ring drains before overflow).
+  struct Outbox {
+    explicit Outbox(std::size_t capacity) : ring(capacity) {}
+    util::SpscRing<Msg> ring;
+    std::vector<Msg> overflow;
+  };
+  std::vector<std::unique_ptr<Outbox>> outboxes_;
+
+  void outbox_push(std::uint32_t src_shard, Msg m) {
+    Outbox& ob = *outboxes_[src_shard];
+    if (!ob.overflow.empty() || !ob.ring.try_push(std::move(m))) {
+      ob.overflow.push_back(std::move(m));
+    }
+  }
 
   // Worker pool, parked between windows. `epoch` ticking under the mutex
   // releases the workers; `done` counting back up releases the coordinator.

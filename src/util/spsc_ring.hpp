@@ -1,0 +1,98 @@
+#pragma once
+
+// Fixed-capacity single-producer/single-consumer ring (the NDN-DPDK /
+// DPDK rte_ring shape, specialized to SPSC): power-of-two capacity with an
+// index mask, monotonically increasing head/tail counters, and *cached*
+// peer indices so the steady-state fast path touches only one shared
+// atomic per operation instead of two.
+//
+// Memory ordering contract:
+//   - try_push stores the slot, then publishes with tail_.store(release);
+//     try_pop observes it with tail_.load(acquire) — the slot write
+//     happens-before the consumer's read.
+//   - try_pop retires the slot, then head_.store(release); try_push observes
+//     reclaimed space with head_.load(acquire) — the consumer's move-out
+//     happens-before the producer overwrites the slot.
+//
+// The sharded executor uses one ring per shard as its window outbox: the
+// shard's worker is the only producer and the barrier coordinator the only
+// consumer, and the barrier guarantees the two never run concurrently with
+// a role swap. A full ring never blocks the producer — the executor spills
+// to a plain vector (drained after the ring, preserving FIFO).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace difane::util {
+
+constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity must be a power of two (>= 1) so wrapping is a mask, not a
+  // modulo. All `capacity` slots are usable: fullness is tracked by counter
+  // distance, not by sacrificing a slot.
+  explicit SpscRing(std::size_t capacity)
+      : mask_(capacity - 1), slots_(capacity) {
+    expects(is_power_of_two(capacity),
+            "SpscRing: capacity must be a power of two");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Producer side. Returns false (leaving `v` untouched) when full.
+  bool try_push(T&& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == capacity()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == capacity()) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Snapshot size — exact only when producer and consumer are quiescent
+  // (e.g. at an executor barrier); a racy estimate otherwise.
+  std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  // Shared counters on their own cache lines so producer stores never
+  // false-share with consumer stores; the cached peer index lives next to
+  // the counter its owner writes (same core, no sharing).
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer-owned
+  std::uint64_t head_cache_ = 0;                    // producer's view of head_
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer-owned
+  std::uint64_t tail_cache_ = 0;                    // consumer's view of tail_
+  alignas(64) std::size_t mask_;
+  std::vector<T> slots_;
+};
+
+}  // namespace difane::util

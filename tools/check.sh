@@ -4,7 +4,7 @@
 # plus a TSan pass (DIFANE_SANITIZE=thread) over the unit and chaos labels —
 # the sharded parallel engine makes race coverage part of tier-1 hygiene.
 #
-#   tools/check.sh [--quick-bench] [--perf] [--threads] [FUZZ_SECONDS]
+#   tools/check.sh [--quick-bench] [--perf] [--threads] [--burst] [FUZZ_SECONDS]
 #
 # FUZZ_SECONDS (default 30) bounds the sanitized fuzz_difane run. All build
 # trees are kept (build/, build-san/, build-tsan/) so incremental re-runs
@@ -19,6 +19,12 @@
 # the host's hardware concurrency, then asserts with bench_compare that
 # every deterministic (non-wall) metric is identical — the thread-count
 # invariance contract for cell-parallel benches and the sharded engine.
+#
+# --burst runs the bench pipeline in --quick mode scalar (--burst 0) and
+# coalesced (--burst 32), then asserts with bench_compare that every
+# deterministic metric is identical — the burst-mode equivalence contract
+# (the burst data plane is an execution-order optimization only; wall
+# metrics are exempt as always).
 #
 # --perf gates the build against the committed perf baseline
 # (bench/BASELINE.json): one quick bench_all run, then bench_compare with
@@ -35,12 +41,14 @@ cd "$(dirname "$0")/.."
 quick_bench=0
 perf=0
 threads_gate=0
+burst_gate=0
 fuzz_seconds=30
 for arg in "$@"; do
   case "$arg" in
     --quick-bench) quick_bench=1 ;;
     --perf) perf=1 ;;
     --threads) threads_gate=1 ;;
+    --burst) burst_gate=1 ;;
     *) fuzz_seconds="$arg" ;;
   esac
 done
@@ -89,6 +97,18 @@ if [[ "$threads_gate" == 1 ]]; then
   # --threads > 1) are exempt / candidate-only and ignored by bench_compare.
   ./build/tools/bench_compare build/BENCH_trajectory_t1.json \
     build/BENCH_trajectory_tN.json
+fi
+
+if [[ "$burst_gate" == 1 ]]; then
+  echo "== burst: bench_all --quick at --burst 0 vs --burst 32 =="
+  ./build/tools/bench_all --quick --jobs "$jobs" \
+    --dir build/bench-reports-b0 --out build/BENCH_trajectory_b0.json
+  ./build/tools/bench_all --quick --jobs "$jobs" --burst 32 \
+    --dir build/bench-reports-b32 --out build/BENCH_trajectory_b32.json
+  # Every deterministic metric must be byte-identical between the scalar and
+  # burst data planes; only wall metrics may move.
+  ./build/tools/bench_compare build/BENCH_trajectory_b0.json \
+    build/BENCH_trajectory_b32.json
 fi
 
 if [[ "$perf" == 1 ]]; then

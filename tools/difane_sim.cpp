@@ -36,6 +36,7 @@ struct Options {
   std::size_t pool = 20000;
   double zipf = 1.0;
   double mean_packets = 5.0;
+  std::size_t burst = 0;  // 0 = scalar; >0 coalesced burst events
   double fail_at = -1.0;  // <0: no failure
   bool verify = false;
   bool verify_symbolic = false;
@@ -62,6 +63,8 @@ struct Options {
       "  --rate F --duration F     traffic (default 5000 flows/s, 2 s)\n"
       "  --pool N --zipf F         flow pool / popularity skew\n"
       "  --packets F               mean packets per flow (default 5)\n"
+      "  --burst N                 burst-mode data plane, N packets per burst\n"
+      "                            (default 0 = scalar; byte-identical results)\n"
       "  --fail-at T               fail authority 0 at time T\n"
       "  --verify                  sample-verify installed state after the run\n"
       "  --verify-symbolic         exhaustive region-level verification\n"
@@ -117,6 +120,8 @@ Options parse(int argc, char** argv) {
       opt.zipf = next();
     } else if (arg == "--packets") {
       opt.mean_packets = next();
+    } else if (arg == "--burst") {
+      opt.burst = static_cast<std::size_t>(next());
     } else if (arg == "--fail-at") {
       opt.fail_at = next();
     } else if (arg == "--verify") {
@@ -168,6 +173,7 @@ int main(int argc, char** argv) {
   params.edge_cache_capacity = opt.cache;
   params.partitioner.capacity = opt.capacity;
   params.cache_strategy = opt.strategy;
+  params.burst = opt.burst;
   Scenario scenario(policy, params);
 
   std::printf("difane_sim: mode=%s policy=%zu rules (%s) topology=%zu edges/%zu "
