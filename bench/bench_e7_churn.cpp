@@ -198,5 +198,104 @@ int main(int argc, char** argv) {
       std::printf("heavy-tail cache churn (cache 512, base idle 35ms):\n%s\n",
                   churn_table.render().c_str());
     }
+
+    // -----------------------------------------------------------------------
+    // Live partition migration: the authority-level analogue of the rule
+    // churn above. A make-before-break re-home keeps both copies of a
+    // partition installed across the flip+drain window, so the costs are
+    // (a) the rules moved to the destination, (b) the peak TCAM
+    // double-occupancy while both copies are live, and (c) redirect stretch —
+    // redirects per delivered packet — against an identical migration-off
+    // run. Service must not degrade: deliveries match the off run's regime.
+    struct MigrationCell {
+      double started = 0.0;
+      double completed = 0.0;
+      double aborted = 0.0;
+      double rules_moved = 0.0;
+      double double_peak = 0.0;
+      double inflight = 0.0;
+      double redirect_stretch = 0.0;  // redirects per delivered packet
+      double hit_pct = 0.0;
+      double delivered = 0.0;
+    };
+    const double mig_duration = args.pick(0.5, 0.3);
+    const auto mig_traffic = heavy_tail_params(rep.seed, 1.0, 12000.0,
+                                               mig_duration, 4000,
+                                               TrafficMode::kPoissonZipf);
+    std::vector<MigrationCell> mig_cells(2);
+    run_cells(args.threads, mig_cells.size(), [&](std::size_t cell) {
+      const bool on = cell == 1;
+      auto params = difane_params(3, CacheStrategy::kMicroflow, /*cache=*/512);
+      params.timings.cache_idle_timeout = 0.035;
+      params.reliable_ctrl = true;  // both cells: isolate the migration cost
+      params.migration.enabled = on;
+      params.migration.wave_size = 2;
+      params.migration.drain_timeout = 0.01;
+      apply_exec_args(params, args);
+      Scenario scenario(churn_policy, params);
+      if (on) {
+        // Re-home a spread of partitions to the authority that is neither
+        // their primary nor (under the 3-authority ring) their backup, so
+        // every move installs real rules rather than flipping to a
+        // pre-stocked replica. The plan shape is seed-deterministic, so the
+        // same requests are issued on every run.
+        const auto& parts = scenario.plan()->partitions();
+        const std::size_t moves = std::min<std::size_t>(parts.size(), 6);
+        for (std::size_t i = 0; i < moves; ++i) {
+          const std::size_t index = (i * parts.size()) / moves;
+          const auto dest = static_cast<AuthorityIndex>(
+              (parts[index].primary + 2) % 3);
+          scenario.request_rehome(index, dest,
+                                  0.05 + 0.03 * static_cast<double>(i));
+        }
+      }
+      TrafficGenerator gen(churn_policy, mig_traffic);
+      const auto& stats = scenario.run(gen.generate());
+      MigrationCell& out = mig_cells[cell];
+      out.started = static_cast<double>(stats.migrations_started);
+      out.completed = static_cast<double>(stats.migrations_completed);
+      out.aborted = static_cast<double>(stats.migrations_aborted);
+      out.rules_moved = static_cast<double>(stats.migration_rules_moved);
+      out.double_peak = static_cast<double>(stats.migration_double_peak);
+      out.inflight = static_cast<double>(stats.migration_inflight_redirects);
+      const double delivered = static_cast<double>(stats.tracer.delivered());
+      out.delivered = delivered;
+      out.redirect_stretch =
+          delivered > 0.0 ? static_cast<double>(stats.redirects) / delivered
+                          : 0.0;
+      out.hit_pct = stats.cache_hit_fraction() * 100.0;
+    });
+    TextTable mig_table({"migration", "moves done", "rules moved",
+                         "double peak", "inflight redir", "redir/pkt", "hit%",
+                         "delivered"});
+    for (std::size_t c = 0; c < mig_cells.size(); ++c) {
+      const bool on = c == 1;
+      const MigrationCell& cell = mig_cells[c];
+      const std::string suffix = on ? "_migration_on" : "_migration_off";
+      rep.set("migrations_started" + suffix, cell.started);
+      rep.set("migrations_completed" + suffix, cell.completed);
+      rep.set("migrations_aborted" + suffix, cell.aborted);
+      rep.set("migration_rules_moved" + suffix, cell.rules_moved);
+      rep.set("migration_double_peak" + suffix, cell.double_peak);
+      rep.set("migration_inflight_redirects" + suffix, cell.inflight);
+      rep.set("redirect_stretch" + suffix, cell.redirect_stretch);
+      rep.set("hit_pct" + suffix, cell.hit_pct);
+      rep.set("delivered" + suffix, cell.delivered);
+      mig_table.add_row({on ? "on" : "off",
+                         TextTable::num(cell.completed, 0) + "/" +
+                             TextTable::num(cell.started, 0),
+                         TextTable::num(cell.rules_moved, 0),
+                         TextTable::num(cell.double_peak, 0),
+                         TextTable::num(cell.inflight, 0),
+                         TextTable::num(cell.redirect_stretch, 3),
+                         TextTable::num(cell.hit_pct, 1),
+                         TextTable::num(cell.delivered, 0)});
+    }
+    if (rep.verbose) {
+      std::printf(
+          "live partition migration (3 authorities, make-before-break, "
+          "drain 10ms):\n%s\n",
+          mig_table.render().c_str());
+    }
   });
 }

@@ -11,6 +11,23 @@ void AuthorityNode::bind(const Partition& partition, RuleId synth_id_base) {
                          max_splice_cost_)});
 }
 
+void AuthorityNode::unbind(PartitionId partition) {
+  // Binding is not assignable (the generator pins a partition reference), so
+  // rebuild instead of erase(); bindings per node are few. Unbinding an
+  // unknown partition is a no-op, which keeps retransmitted retires silent.
+  std::vector<Binding> kept;
+  kept.reserve(bindings_.size());
+  bool removed = false;
+  for (auto& binding : bindings_) {
+    if (!removed && binding.partition->id == partition) {
+      removed = true;
+      continue;
+    }
+    kept.push_back(std::move(binding));
+  }
+  bindings_.swap(kept);
+}
+
 std::optional<AuthorityNode::RedirectResult> AuthorityNode::handle(
     const BitVec& packet) {
   for (auto& binding : bindings_) {

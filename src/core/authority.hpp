@@ -28,6 +28,11 @@ class AuthorityNode {
   // rule ids; callers hand each binding a disjoint range.
   void bind(const Partition& partition, RuleId synth_id_base);
 
+  // Drop the binding for `partition` (live migration retired this switch
+  // from the serving set). Unbinding a partition that is not bound is a
+  // no-op, which keeps retransmitted/duplicated retire paths idempotent.
+  void unbind(PartitionId partition);
+
   std::size_t partition_count() const { return bindings_.size(); }
 
   bool serves(PartitionId partition) const {

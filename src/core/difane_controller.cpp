@@ -42,6 +42,82 @@ DifaneController::DifaneController(Network& net, const RuleTable& policy,
       synth_base += params_.synth_id_stride;
     }
   }
+  next_synth_base_ = synth_base;
+}
+
+AuthorityIndex DifaneController::index_of(SwitchId sw) const {
+  for (AuthorityIndex i = 0; i < authority_switches_.size(); ++i) {
+    if (authority_switches_[i] == sw) return i;
+  }
+  throw contract_violation("index_of: not an authority switch");
+}
+
+std::vector<AuthorityIndex> DifaneController::serving_set(
+    const Partition& partition) const {
+  return serving_set(partition.primary, partition.backup);
+}
+
+std::vector<AuthorityIndex> DifaneController::serving_set(
+    AuthorityIndex primary, AuthorityIndex backup) const {
+  const auto k = static_cast<AuthorityIndex>(authority_switches_.size());
+  std::vector<AuthorityIndex> serving;
+  for (std::uint32_t r = 0; r < params_.replicas; ++r) {
+    serving.push_back((primary + r) % k);
+  }
+  if (std::find(serving.begin(), serving.end(), backup) == serving.end()) {
+    serving.push_back(backup);
+  }
+  return serving;
+}
+
+void DifaneController::bind_partition(std::size_t index, AuthorityIndex authority) {
+  const auto& partition = plan_.partitions().at(index);
+  AuthorityNode* node = nodes_.at(authority_switch(authority)).get();
+  if (node->serves(partition.id)) return;  // idempotent under replays
+  node->bind(partition, next_synth_base_);
+  next_synth_base_ += params_.synth_id_stride;
+}
+
+void DifaneController::unbind_partition(std::size_t index, AuthorityIndex authority) {
+  const auto& partition = plan_.partitions().at(index);
+  nodes_.at(authority_switch(authority))->unbind(partition.id);
+}
+
+void DifaneController::commit_re_home(std::size_t index, AuthorityIndex dest) {
+  plan_.re_home(index, dest);
+}
+
+std::size_t DifaneController::purge_partition_redirects(std::size_t index,
+                                                        SwitchId old_switch) {
+  const auto& partition = plan_.partitions().at(index);
+  std::size_t purged = 0;
+  for (SwitchId id = 0; id < net_.switch_count(); ++id) {
+    Switch& sw = net_.sw(id);
+    if (sw.failed()) continue;
+    std::vector<RuleId> stale;
+    for (const auto& entry : sw.table().entries(Band::kCache)) {
+      if (entry.rule.action.type == ActionType::kEncap &&
+          entry.rule.action.arg == old_switch &&
+          intersects(entry.rule.match, partition.region)) {
+        stale.push_back(entry.rule.id);
+      }
+    }
+    for (const auto rule_id : stale) {
+      if (sw.table().remove(rule_id, Band::kCache)) ++purged;
+    }
+  }
+  return purged;
+}
+
+Rule DifaneController::partition_redirect_rule(std::size_t index,
+                                               SwitchId for_switch) const {
+  const auto& partition = plan_.partitions().at(index);
+  Rule rule;
+  rule.id = params_.partition_rule_id_base + static_cast<RuleId>(index);
+  rule.priority = params_.partition_rule_priority;
+  rule.match = partition.region;
+  rule.action = Action::encap(replica_for(partition, for_switch));
+  return rule;
 }
 
 SwitchId DifaneController::replica_for(const Partition& partition, SwitchId sw) const {
@@ -104,16 +180,7 @@ void DifaneController::install_all() {
 }
 
 std::size_t DifaneController::handle_authority_restart(SwitchId restarted) {
-  AuthorityIndex index = 0;
-  bool found = false;
-  for (AuthorityIndex i = 0; i < authority_switches_.size(); ++i) {
-    if (authority_switches_[i] == restarted) {
-      index = i;
-      found = true;
-      break;
-    }
-  }
-  expects(found, "handle_authority_restart: not an authority switch");
+  const AuthorityIndex index = index_of(restarted);
   expects(!net_.sw(restarted).failed(),
           "handle_authority_restart: switch still marked failed");
 
@@ -144,16 +211,7 @@ std::size_t DifaneController::handle_authority_restart(SwitchId restarted) {
 }
 
 std::size_t DifaneController::handle_authority_failure(SwitchId failed) {
-  AuthorityIndex failed_index = 0;
-  bool found = false;
-  for (AuthorityIndex i = 0; i < authority_switches_.size(); ++i) {
-    if (authority_switches_[i] == failed) {
-      failed_index = i;
-      found = true;
-      break;
-    }
-  }
-  expects(found, "handle_authority_failure: not an authority switch");
+  const AuthorityIndex failed_index = index_of(failed);
 
   std::size_t repointed = 0;
   for (const auto& partition : plan_.partitions()) {

@@ -77,6 +77,42 @@ class DifaneController {
   // across switches: one rule per partition).
   std::size_t partition_rules_per_switch() const { return plan_.partitions().size(); }
 
+  // ---- live migration hooks (driven by the Scenario state machine) -------
+
+  // Authority index of `sw`; throws if `sw` is not an authority switch.
+  AuthorityIndex index_of(SwitchId sw) const;
+
+  // The serving set (primary + ring successors + backup-if-absent) of a
+  // partition under the plan's *current* assignment, or under a hypothetical
+  // (primary, backup) pair — the migration planner uses the latter to
+  // compute the post-move serving set before committing the re-home.
+  std::vector<AuthorityIndex> serving_set(const Partition& partition) const;
+  std::vector<AuthorityIndex> serving_set(AuthorityIndex primary,
+                                          AuthorityIndex backup) const;
+
+  // Bind/unbind partition `index` at one authority's control node. Binds
+  // allocate a fresh disjoint synthetic-id range (continuing the ctor's
+  // counter); unbinding a switch that does not serve the partition is a
+  // no-op. Neither touches any TCAM — the caller moves the actual rules over
+  // the control channel.
+  void bind_partition(std::size_t index, AuthorityIndex authority);
+  void unbind_partition(std::size_t index, AuthorityIndex authority);
+
+  // Commit the re-home into the plan (primary = dest, backup = old primary).
+  // Call between "destination stocked" and the partition-rule flips, so
+  // replica_for answers with the new home for every flip rule.
+  void commit_re_home(std::size_t index, AuthorityIndex dest);
+
+  // Purge cache-band shadow redirects that still encap to `old_switch` and
+  // intersect partition `index`'s region (the migration-scoped variant of
+  // the failover purge). Returns entries removed (dependents cascade).
+  std::size_t purge_partition_redirects(std::size_t index, SwitchId old_switch);
+
+  // The partition-band redirect rule for partition `index` as `for_switch`
+  // should hold it now (stable id, encap to replica_for under the current
+  // plan) — the payload of a PartitionFlip.
+  Rule partition_redirect_rule(std::size_t index, SwitchId for_switch) const;
+
  private:
   void install_partition_rules();
   void install_authority_rules();
@@ -87,6 +123,7 @@ class DifaneController {
   DifaneControllerParams params_;
   PartitionPlan plan_;
   std::unordered_map<SwitchId, std::unique_ptr<AuthorityNode>> nodes_;
+  RuleId next_synth_base_ = 0;  // continues the ctor's synthetic-id counter
 };
 
 }  // namespace difane

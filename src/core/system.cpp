@@ -1,5 +1,8 @@
 #include "core/system.hpp"
 
+#include <algorithm>
+
+#include "partition/migration.hpp"
 #include "util/contract.hpp"
 #include "util/log.hpp"
 #include "util/spsc_ring.hpp"
@@ -228,6 +231,54 @@ void validate_reliability(const ScenarioParams& p) {
   }
 }
 
+void validate_migration(const ScenarioParams& p) {
+  const auto& m = p.migration;
+  if (!m.enabled) {
+    // Dormant knobs are not validated: a default-constructed MigrationParams
+    // with migration off must never reject (strict no-op contract).
+    return;
+  }
+  if (p.mode != Mode::kDifane) {
+    throw ConfigError("migration.enabled",
+                      "live partition migration re-homes DIFANE authority "
+                      "state; NOX mode has no partitions to move");
+  }
+  if (p.authority_count < 2) {
+    throw ConfigError("migration.enabled",
+                      "migration needs somewhere to move to: "
+                      "authority_count must be >= 2");
+  }
+  if (!p.reliable_ctrl) {
+    throw ConfigError("migration.enabled",
+                      "make-before-break rides install/flip/retire acks; "
+                      "migration requires reliable_ctrl");
+  }
+  if (m.wave_size == 0) {
+    throw ConfigError("migration.wave_size",
+                      "a zero-size migration wave can move nothing");
+  }
+  if (m.drain_timeout <= 0.0) {
+    throw ConfigError("migration.drain_timeout",
+                      "the drain window must be > 0 or in-flight redirects "
+                      "race the source retirement");
+  }
+  if (m.check_interval < 0.0) {
+    throw ConfigError("migration.check_interval",
+                      "rebalance interval cannot be negative");
+  }
+  if (m.check_interval > 0.0 && m.horizon <= 0.0) {
+    throw ConfigError("migration.horizon",
+                      "the rebalance loop needs a positive horizon or its "
+                      "tick chain never ends (set it at or past the end of "
+                      "injected traffic)");
+  }
+  if (m.imbalance_threshold < 1.0) {
+    throw ConfigError("migration.imbalance_threshold",
+                      "threshold below 1 makes every balanced assignment "
+                      "look overloaded; use >= 1");
+  }
+}
+
 void validate_faults(const ScenarioParams& p) {
   p.faults.validate();
   for (const auto& crash : p.faults.crashes) {
@@ -251,6 +302,7 @@ void ScenarioParams::validate() const {
   validate_measurement(*this);
   validate_execution(*this);
   validate_reliability(*this);
+  validate_migration(*this);
   validate_faults(*this);
 }
 
@@ -351,6 +403,10 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
     heartbeat_ = std::make_unique<HeartbeatMonitor>(
         net_, difane_->authority_switches(), hp, injector_.get());
     heartbeat_->on_failure([this](SwitchId sw, double) {
+      // A migration whose destination just died must abort before the
+      // failover re-points partitions (the rollback leans on the old copy
+      // the migration had not yet retired).
+      migration_on_crash(sw);
       difane_->handle_authority_failure(sw);
     });
     heartbeat_->on_recovery([this](SwitchId sw, double) {
@@ -362,6 +418,13 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
   // and its export channels want the injector, both built above.
   setup_measurement();
   schedule_faults();
+  // Live-migration rebalance loop: a global-event tick chain (mirrors the
+  // measurement tick chain). Explicit request_rehome() works without it.
+  if (params_.migration.enabled && params_.migration.check_interval > 0.0 &&
+      params_.migration.check_interval <= params_.migration.horizon) {
+    net_.engine().at(params_.migration.check_interval,
+                     [this]() { migration_tick(); });
+  }
 }
 
 // Build the telemetry data plane: one FlowTelemetry + export channel per
@@ -648,6 +711,14 @@ void ScenarioStats::merge_from(const ScenarioStats& other) {
   export_retransmits += other.export_retransmits;
   export_piggyback_fresh += other.export_piggyback_fresh;
   export_piggyback_stale += other.export_piggyback_stale;
+  migrations_started += other.migrations_started;
+  migrations_completed += other.migrations_completed;
+  migrations_aborted += other.migrations_aborted;
+  migration_rules_moved += other.migration_rules_moved;
+  // Peaks are maxima: shard-local double-occupancy never exceeds the global
+  // peak, and the migration machinery only runs in global events anyway.
+  migration_double_peak = std::max(migration_double_peak, other.migration_double_peak);
+  migration_inflight_redirects += other.migration_inflight_redirects;
 }
 
 void Scenario::schedule_faults() {
@@ -672,8 +743,10 @@ void Scenario::schedule_faults() {
     const SwitchId sw = difane_->authority_switch(crash.authority_index);
     net_.engine().at(crash.at, [this, sw]() { crash_authority(sw); });
     if (legacy_detect) {
-      net_.engine().at(crash.at + params_.timings.failover_detect,
-                       [this, sw]() { difane_->handle_authority_failure(sw); });
+      net_.engine().at(crash.at + params_.timings.failover_detect, [this, sw]() {
+        migration_on_crash(sw);
+        difane_->handle_authority_failure(sw);
+      });
     }
     if (crash.restart_at >= 0.0) {
       net_.engine().at(crash.restart_at, [this, sw]() { restart_authority(sw); });
@@ -807,6 +880,14 @@ obs::MetricsReport ScenarioStats::snapshot(const std::string& experiment) const 
              static_cast<double>(export_piggyback_fresh));
   report.set("export_piggyback_stale",
              static_cast<double>(export_piggyback_stale));
+  // Live partition migration (all zero with migration off).
+  report.set("migrations_started", static_cast<double>(migrations_started));
+  report.set("migrations_completed", static_cast<double>(migrations_completed));
+  report.set("migrations_aborted", static_cast<double>(migrations_aborted));
+  report.set("migration_rules_moved", static_cast<double>(migration_rules_moved));
+  report.set("migration_double_peak", static_cast<double>(migration_double_peak));
+  report.set("migration_inflight_redirects",
+             static_cast<double>(migration_inflight_redirects));
   return report;
 }
 
@@ -1122,9 +1203,30 @@ void Scenario::handle_authority(SwitchId at, Packet pkt) {
     pkt.encap_target.reset();
     auto result = node->handle(pkt.header);
     if (!result.has_value()) {
-      // Misdirected (e.g. stale partition rules during failover).
+      // Misdirected (e.g. stale partition rules during failover). With live
+      // migration on, a redirect that chased a partition to a switch that
+      // retired it re-encaps to the current owner instead of dropping — the
+      // "zero lost packets attributable to migration" contract; the TTL
+      // bounds the chase. Migration off keeps the legacy drop byte-for-byte.
+      if (params_.migration.enabled) {
+        const Partition& partition = difane_->plan().find(pkt.header);
+        const SwitchId owner = difane_->replica_for(partition, at);
+        if (owner != at && !net_.sw(owner).failed()) {
+          apply_action(at, pkt, Action::encap(owner));
+          return;
+        }
+      }
       dispose(pkt, false, DropReason::kUnreachable);
       return;
+    }
+    // A redirect landing at the *old* home of an in-flight migration is the
+    // drain traffic make-before-break exists for; count it (the old copy
+    // still resolves correctly — that is the point).
+    if (!migrating_old_home_.empty()) {
+      const auto mig = migrating_old_home_.find(result->partition);
+      if (mig != migrating_old_home_.end() && mig->second == at) {
+        ++st().migration_inflight_redirects;
+      }
     }
     // Elephant-aware install policy: feed this miss into the authority's
     // heavy-hitter summary, then classify on the *guaranteed* (lower-bound)
@@ -1393,6 +1495,292 @@ void Scenario::forward_hop(SwitchId at, SwitchId toward, Packet pkt) {
   schedule_at_switch(nh, delivery, std::move(hop));
 }
 
+// ---- live partition migration --------------------------------------------
+// Make-before-break over the reliable control channel. Every method below
+// runs as a global event (workers parked), so mutating the plan, the
+// authority bindings, and remote switch tables is race-free — the same
+// discipline crash_authority established. The control messages themselves
+// still ride the per-switch channels: sends hop to the owning shard, acks
+// hop back to the global queue, so installs and flips pay latency, loss,
+// and retransmission like any other control traffic.
+
+void Scenario::request_rehome(std::size_t partition_index, AuthorityIndex dest,
+                              SimTime when) {
+  expects(params_.migration.enabled, "request_rehome: enable params.migration");
+  expects(difane_ != nullptr, "request_rehome: DIFANE mode only");
+  expects(partition_index < difane_->plan().partitions().size(),
+          "request_rehome: no such partition");
+  expects(dest < difane_->authority_switches().size(),
+          "request_rehome: no such authority index");
+  net_.engine().at(when, [this, partition_index, dest]() {
+    start_migration(partition_index, dest);
+  });
+}
+
+void Scenario::start_migration(std::size_t index, AuthorityIndex dest) {
+  expects(shard::in_global_context(), "start_migration: global events only");
+  const Partition& partition = difane_->plan().partitions().at(index);
+  if (partition.primary == dest) return;  // already home
+  // One move per partition at a time, at most wave_size concurrent moves;
+  // excess requests queue FIFO and drain as slots free up.
+  if (migrating_old_home_.count(partition.id) != 0 ||
+      active_migrations_.size() >= params_.migration.wave_size) {
+    migration_queue_.emplace_back(index, dest);
+    return;
+  }
+  ++stats_.migrations_started;
+  if (net_.sw(difane_->authority_switch(dest)).failed()) {
+    ++stats_.migrations_aborted;  // nothing installed yet: trivially aborted
+    return;
+  }
+  const auto old_serving = difane_->serving_set(partition);
+  const auto new_serving = difane_->serving_set(dest, partition.primary);
+  const std::size_t slot = migrations_.size();
+  migrations_.emplace_back();
+  LiveMigration& m = migrations_.back();
+  m.index = index;
+  m.from = partition.primary;
+  m.to = dest;
+  m.rules = partition.rules.rules().size();
+  for (const auto member : new_serving) {
+    if (std::find(old_serving.begin(), old_serving.end(), member) ==
+        old_serving.end()) {
+      m.installs.push_back(member);
+    }
+  }
+  for (const auto member : old_serving) {
+    if (std::find(new_serving.begin(), new_serving.end(), member) ==
+        new_serving.end()) {
+      m.retires.push_back(member);
+    }
+  }
+  active_migrations_.push_back(slot);
+  migrating_old_home_[partition.id] = difane_->authority_switch(m.from);
+  // "Make" phase: stock every new serving-set member before any flip. The
+  // extra copies are the double-occupancy cost make-before-break pays.
+  stats_.migration_rules_moved += m.rules * m.installs.size();
+  migration_double_now_ +=
+      static_cast<std::int64_t>(m.rules * m.installs.size());
+  stats_.migration_double_peak =
+      std::max(stats_.migration_double_peak,
+               static_cast<std::uint64_t>(migration_double_now_));
+  log_info("migration: partition ", index, " authority ", m.from, " -> ",
+           m.to, " (", m.rules, " rules, ", m.installs.size(), " installs, ",
+           m.retires.size(), " retires) at t=", net_.engine().now());
+  if (m.installs.empty()) {
+    // Destination already stocked (it was a replica/backup): flip directly.
+    migration_flip(slot);
+    return;
+  }
+  m.pending_acks = m.installs.size();
+  PartitionInstall msg;
+  msg.rules = partition.rules.rules();
+  for (const auto member : m.installs) {
+    difane_->bind_partition(index, member);
+    send_migration(difane_->authority_switch(member), msg,
+                   [this, slot](bool ok) { migration_install_acked(slot, ok); });
+  }
+}
+
+void Scenario::migration_install_acked(std::size_t slot, bool ok) {
+  LiveMigration& m = migrations_[slot];
+  if (!ok) m.aborted = true;  // destination crashed or refused the stock
+  expects(m.pending_acks > 0, "migration: spurious install ack");
+  if (--m.pending_acks > 0) return;
+  if (m.aborted) {
+    migration_rollback(slot);
+  } else {
+    migration_flip(slot);
+  }
+}
+
+void Scenario::migration_flip(std::size_t slot) {
+  LiveMigration& m = migrations_[slot];
+  if (m.aborted) {  // destination died between the last ack and this event
+    migration_rollback(slot);
+    return;
+  }
+  // "Break" phase: commit the re-home first (primary = dest, backup = old
+  // home), so every flip rule computed below already answers with the new
+  // owner; the old home stays bound and stocked as the new backup, which is
+  // what a post-flip destination crash falls back to.
+  difane_->commit_re_home(m.index, m.to);
+  m.flipped = true;
+  std::vector<SwitchId> targets;
+  for (SwitchId id = 0; id < net_.switch_count(); ++id) {
+    if (!net_.sw(id).failed()) targets.push_back(id);
+  }
+  m.pending_acks = targets.size();
+  for (const SwitchId sw : targets) {
+    PartitionFlip msg;
+    msg.rule = difane_->partition_redirect_rule(m.index, sw);
+    send_migration(sw, std::move(msg),
+                   [this, slot](bool ok) { migration_flip_acked(slot, ok); });
+  }
+  if (targets.empty()) migration_flip_acked(slot, true);  // degenerate
+}
+
+void Scenario::migration_flip_acked(std::size_t slot, bool /*ok*/) {
+  // A refused flip (the switch crashed while the message was in flight) is
+  // deliberately not an abort: its stale partition rule still points at the
+  // old home — which remains bound — and the restart path reinstalls fresh
+  // partition rules anyway. Over-redirecting is safe; mis-forwarding never
+  // happens.
+  LiveMigration& m = migrations_[slot];
+  if (m.pending_acks > 0 && --m.pending_acks > 0) return;
+  // Every live switch now redirects to the new home; give in-flight
+  // redirects a drain window before retiring the source copy.
+  net_.engine().at(net_.engine().now() + params_.migration.drain_timeout,
+                   [this, slot]() { migration_drain_done(slot); });
+}
+
+void Scenario::migration_drain_done(std::size_t slot) {
+  if (migrations_[slot].aborted) {
+    migration_rollback(slot);
+  } else {
+    migration_finish(slot);
+  }
+}
+
+void Scenario::migration_finish(std::size_t slot) {
+  LiveMigration& m = migrations_[slot];
+  const Partition& partition = difane_->plan().partitions()[m.index];
+  // Retire the old-only serving members: unbind their control nodes and
+  // remove the authority-band copies over the channel (fire-and-forget; a
+  // crashed member already lost its table, and retiring an absent id is a
+  // no-op, so duplicates are harmless).
+  for (const auto member : m.retires) {
+    difane_->unbind_partition(m.index, member);
+    const SwitchId sw = difane_->authority_switch(member);
+    if (net_.sw(sw).failed()) continue;
+    PartitionRetire msg;
+    for (const auto& rule : partition.rules.rules()) {
+      msg.rule_ids.push_back(rule.id);
+    }
+    send_migration(sw, std::move(msg), {});
+  }
+  // Cached shadow redirects that still chase the old home defeat the move
+  // (and, once traffic shifts, the old home's copy is demoted to backup):
+  // purge them so those flows re-resolve via the flipped partition band.
+  const std::size_t purged = difane_->purge_partition_redirects(
+      m.index, migrating_old_home_.at(partition.id));
+  migration_double_now_ -=
+      static_cast<std::int64_t>(m.rules * m.installs.size());
+  migrating_old_home_.erase(partition.id);
+  ++stats_.migrations_completed;
+  active_migrations_.erase(std::remove(active_migrations_.begin(),
+                                       active_migrations_.end(), slot),
+                           active_migrations_.end());
+  log_info("migration: partition ", m.index, " completed at authority ", m.to,
+           ", purged ", purged, " stale redirects, t=", net_.engine().now());
+  pump_migration_queue();
+}
+
+void Scenario::migration_rollback(std::size_t slot) {
+  LiveMigration& m = migrations_[slot];
+  const Partition& partition = difane_->plan().partitions()[m.index];
+  if (!m.flipped) {
+    // Pre-flip abort: the plan never changed and no ingress was flipped, so
+    // rolling back is unstocking the installs. A crashed member's table is
+    // already empty; live members get the copies removed directly (global
+    // event — the same direct-poke idiom as the failover purge).
+    for (const auto member : m.installs) {
+      difane_->unbind_partition(m.index, member);
+      Switch& sw = net_.sw(difane_->authority_switch(member));
+      if (sw.failed()) continue;
+      for (const auto& rule : partition.rules.rules()) {
+        sw.table().remove(rule.id, Band::kAuthority);
+      }
+    }
+  }
+  // Post-flip abort (destination crashed after the re-home committed):
+  // nothing to undo here — handle_authority_failure already failed the plan
+  // over to the backup, which is the fully stocked old home, and refreshed
+  // the partition rules. The destination's binding stays, consistent with
+  // any crashed replica, so a later restart re-stocks it.
+  migration_double_now_ -=
+      static_cast<std::int64_t>(m.rules * m.installs.size());
+  migrating_old_home_.erase(partition.id);
+  ++stats_.migrations_aborted;
+  active_migrations_.erase(std::remove(active_migrations_.begin(),
+                                       active_migrations_.end(), slot),
+                           active_migrations_.end());
+  log_info("migration: partition ", m.index, " aborted (",
+           m.flipped ? "post" : "pre", "-flip) at t=", net_.engine().now());
+  pump_migration_queue();
+}
+
+void Scenario::migration_on_crash(SwitchId sw) {
+  if (!params_.migration.enabled || active_migrations_.empty()) return;
+  for (const std::size_t slot : active_migrations_) {
+    LiveMigration& m = migrations_[slot];
+    // A destination crash aborts the move: pre-flip the pending install acks
+    // come back refused and the rollback unstocks; post-flip the failover
+    // running right after this falls back to the old home (= plan backup).
+    // A *source* crash needs nothing special — the destination copy is the
+    // one the machinery is building, and failover handles the old home like
+    // any other failed authority.
+    if (difane_->authority_switch(m.to) == sw) m.aborted = true;
+  }
+}
+
+void Scenario::migration_tick() {
+  MigrationPlannerParams planner;
+  planner.wave_size = params_.migration.wave_size;
+  planner.imbalance_threshold = params_.migration.imbalance_threshold;
+  const auto steps = plan_rebalance_wave(difane_->plan(), planner);
+  for (const auto& step : steps) {
+    start_migration(step.partition_index, step.to);
+  }
+  const double next = net_.engine().now() + params_.migration.check_interval;
+  if (next <= params_.migration.horizon) {
+    net_.engine().at(next, [this]() { migration_tick(); });
+  }
+}
+
+void Scenario::pump_migration_queue() {
+  if (migration_queue_.empty()) return;
+  std::vector<std::pair<std::size_t, AuthorityIndex>> queued;
+  queued.swap(migration_queue_);
+  for (const auto& [index, dest] : queued) {
+    if (active_migrations_.size() < params_.migration.wave_size) {
+      start_migration(index, dest);  // may re-queue if the partition is busy
+    } else {
+      migration_queue_.emplace_back(index, dest);
+    }
+  }
+}
+
+void Scenario::send_migration(SwitchId sw, Request request,
+                              std::function<void(bool)> on_ack) {
+  // The reply lands on the switch's shard engine; the ack mutates migration
+  // state, so it hops to the global queue first (the heartbeat piggyback
+  // hook set the pattern). The reliable channel fires on_reply exactly once,
+  // so pending-ack counting is exact even under loss and duplication.
+  ControlEndpoint::ReplyHandler on_reply;
+  if (on_ack) {
+    on_reply = [this, on_ack = std::move(on_ack)](const Reply& reply) {
+      bool ok = true;
+      if (const auto* r = std::get_if<FlowModReply>(&reply)) ok = r->ok;
+      if (exec_ != nullptr) {
+        exec_->schedule_global(cur_engine().now(),
+                               [on_ack, ok]() { on_ack(ok); });
+      } else {
+        on_ack(ok);
+      }
+    };
+  }
+  auto do_send = [this, sw, request = std::move(request),
+                  on_reply = std::move(on_reply)]() mutable {
+    install_channels_[sw]->send(std::move(request), std::move(on_reply));
+  };
+  if (exec_ != nullptr) {
+    exec_->schedule(shard_of_[sw], cur_engine().now(), std::move(do_send));
+  } else {
+    do_send();
+  }
+}
+
 void Scenario::schedule_authority_failure(SimTime when, SwitchId authority) {
   expects(difane_ != nullptr, "schedule_authority_failure: DIFANE mode only");
   net_.engine().at(when, [this, authority]() {
@@ -1403,6 +1791,7 @@ void Scenario::schedule_authority_failure(SimTime when, SwitchId authority) {
   // the fixed-delay oracle below is the legacy path.
   if (params_.timings.heartbeat_interval <= 0.0) {
     net_.engine().at(when + params_.timings.failover_detect, [this, authority]() {
+      migration_on_crash(authority);
       difane_->handle_authority_failure(authority);
     });
   }

@@ -70,6 +70,32 @@ struct Timings {
   double ctrl_rto_max = 0.1;
 };
 
+// Live partition migration (DIFANE mode, reliable control channel only).
+// When enabled, the controller can re-home partitions to new authority
+// switches mid-run with make-before-break semantics: install the authority
+// rules at the destination first, flip every switch's partition redirect,
+// wait out a drain window for in-flight redirects, then retire the source
+// copy and purge stale cached redirects. Migrations are driven explicitly
+// (Scenario::request_rehome) or by a periodic rebalance loop
+// (check_interval > 0) that moves partitions off overloaded authorities in
+// bounded waves. Strict no-op when disabled: no events, no Rng draws, no
+// stats deltas.
+struct MigrationParams {
+  bool enabled = false;
+  // Max partitions in flight at once; further requests queue FIFO.
+  std::uint32_t wave_size = 4;
+  // Seconds between "every switch flipped" and retiring the source copy —
+  // the window in-flight redirects get to land at the old home.
+  double drain_timeout = 0.01;
+  // Rebalance loop period; 0 disables the loop (explicit re-homes only).
+  double check_interval = 0.0;
+  // Rebalance loop stops scheduling ticks at this sim time (required > 0
+  // when check_interval > 0, so the engine's queue drains).
+  double horizon = 0.0;
+  // Rebalance trigger: heaviest authority load / mean load above this.
+  double imbalance_threshold = 1.5;
+};
+
 struct ScenarioParams {
   Mode mode = Mode::kDifane;
   TopologyKind topology = TopologyKind::kTwoTier;
@@ -121,6 +147,10 @@ struct ScenarioParams {
   // heartbeat sequence numbers, so with heartbeat detection on, telemetry
   // traffic doubles as liveness evidence. See core/telemetry.hpp.
   MeasurementParams measurement;
+
+  // Live partition migration (DIFANE + reliable_ctrl only; validate()
+  // rejects other combinations). See MigrationParams.
+  MigrationParams migration;
 
   // When >= 0, ScenarioStats::cache_entries_final is sampled at this sim
   // time (a global event; scheduled by run()) instead of at the end of the
@@ -225,6 +255,18 @@ struct ScenarioStats {
   std::uint64_t export_retransmits = 0;
   std::uint64_t export_piggyback_fresh = 0;   // batches accepted as liveness
   std::uint64_t export_piggyback_stale = 0;
+
+  // Live partition migration (all zero with migration off). started counts
+  // migrations entering the install phase; every one ends as completed or
+  // aborted (destination crashed / install refused — the partition rolls
+  // back to its old home, which was never retired).
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t migrations_aborted = 0;
+  std::uint64_t migration_rules_moved = 0;     // authority rules installed at dests
+  std::uint64_t migration_double_peak = 0;     // peak extra authority-rule copies
+  std::uint64_t migration_inflight_redirects = 0;  // packets that landed at the
+                                                   // old home mid-migration
   double cache_hit_fraction() const {
     const auto total = ingress_cache_hits + ingress_local_hits + redirects;
     return total ? static_cast<double>(ingress_cache_hits + ingress_local_hits) /
@@ -257,6 +299,14 @@ class Scenario {
   // With heartbeat detection off, the controller re-points partitions
   // `failover_detect` later; with it on, the monitor detects the silence.
   void schedule_authority_failure(SimTime when, SwitchId authority);
+
+  // Request a live re-home of partition `partition_index` to authority
+  // `dest` at sim time `when` (requires params.migration.enabled). The move
+  // runs make-before-break over the control channel; if more than
+  // migration.wave_size moves are in flight, the request queues FIFO.
+  // Re-homing a partition to its current primary is a no-op.
+  void request_rehome(std::size_t partition_index, AuthorityIndex dest,
+                      SimTime when);
 
   // Post-recovery sweep over the *actual* switch tables at the engine's
   // current clock: black holes, loops, dangling redirects, wrong actions.
@@ -300,6 +350,39 @@ class Scenario {
   }
 
  private:
+  // ---- live partition migration (all methods run as global events: the
+  // executor parks workers for the global queue, so mutating plan/bindings
+  // and poking remote switch state here is race-free — same discipline as
+  // crash_authority). Control messages still ride the per-switch channels,
+  // hopping to the owning shard to send and back to the global queue for the
+  // ack, so installs/flips pay latency, loss, and retransmission like any
+  // other control traffic.
+  struct LiveMigration {
+    std::size_t index = 0;          // partition index in the plan
+    AuthorityIndex from = 0;        // old primary
+    AuthorityIndex to = 0;          // destination
+    std::vector<AuthorityIndex> installs;  // new-serving-set members to stock
+    std::vector<AuthorityIndex> retires;   // old-only members to retire after
+    std::size_t pending_acks = 0;   // outstanding install or flip acks
+    std::size_t rules = 0;          // authority-rule copies per serving member
+    bool aborted = false;           // destination crashed / refused installs
+    bool flipped = false;           // re-home committed to the plan (selects
+                                    // the rollback variant: pre-flip undoes
+                                    // the installs, post-flip rides failover)
+  };
+  void start_migration(std::size_t index, AuthorityIndex dest);
+  void migration_install_acked(std::size_t slot, bool ok);
+  void migration_flip(std::size_t slot);
+  void migration_flip_acked(std::size_t slot, bool ok);
+  void migration_drain_done(std::size_t slot);
+  void migration_finish(std::size_t slot);
+  void migration_rollback(std::size_t slot);
+  void migration_on_crash(SwitchId sw);   // called before failover handling
+  void migration_tick();                  // periodic rebalance loop
+  void pump_migration_queue();
+  void send_migration(SwitchId sw, Request request,
+                      std::function<void(bool)> on_ack);
+
   void schedule_faults();
   void crash_authority(SwitchId sw);
   void restart_authority(SwitchId sw);
@@ -412,6 +495,20 @@ class Scenario {
   // Burst-mode arrival schedule (params_.burst > 0 only): stable storage the
   // burst handlers index into, so each event captures just {group, range}.
   BurstPlan burst_plan_;
+  // Live-migration state (params_.migration.enabled only; all empty
+  // otherwise so the migration-off path is byte-identical to before).
+  // Mutated exclusively from global events. Slots are stable for the run so
+  // in-flight ack callbacks can address their migration by index.
+  std::vector<LiveMigration> migrations_;
+  std::vector<std::size_t> active_migrations_;           // slots in flight
+  std::vector<std::pair<std::size_t, AuthorityIndex>> migration_queue_;
+  // PartitionId -> old home switch while a migration is in flight; read on
+  // the authority-resolution path (cheap empty() check first) to count
+  // in-flight redirects that landed at the old home. Mutated only from
+  // global events; read from shard handlers — the same discipline as the
+  // plan itself under failover.
+  std::unordered_map<PartitionId, SwitchId> migrating_old_home_;
+  std::int64_t migration_double_now_ = 0;   // live extra authority-rule copies
   std::vector<ScenarioStats> shard_stats_;
   ScenarioStats stats_;
   // Process-wide observability hooks, resolved once here so the per-packet

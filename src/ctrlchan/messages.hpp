@@ -62,8 +62,39 @@ struct FlowExport {
   obs::FlowExportBatch batch;
 };
 
+// ---- live partition migration ("make-before-break" re-homing) -----------
+// These three messages are the control vocabulary of a partition move. All of
+// them are idempotent by construction — installs and flips refresh an entry
+// in place by rule id, retire of an absent id is a no-op — so the reliable
+// channel's retransmission/duplication path needs no special casing.
+
+// Install a partition's authority rules at the destination switch (the
+// make-before-break "make": the destination is fully stocked before any
+// ingress is flipped toward it).
+struct PartitionInstall {
+  Xid xid = 0;
+  std::vector<Rule> rules;  // authority-band copies for one partition
+};
+
+// Flip one switch's partition-band redirect rule so new redirects chase the
+// partition at its new home. The rule id is stable per partition, so the
+// flip refreshes the existing entry in place.
+struct PartitionFlip {
+  Xid xid = 0;
+  Rule rule;  // partition-band redirect (encap to the new authority)
+};
+
+// Retire the source copy after the drain window: remove the listed
+// authority-band rule ids. Removing an id the switch no longer holds (crash,
+// duplicate retire) is a silent no-op.
+struct PartitionRetire {
+  Xid xid = 0;
+  std::vector<RuleId> rule_ids;
+};
+
 using Request =
-    std::variant<FlowMod, PacketOut, BarrierRequest, FlowStatsRequest, FlowExport>;
+    std::variant<FlowMod, PacketOut, BarrierRequest, FlowStatsRequest, FlowExport,
+                 PartitionInstall, PartitionFlip, PartitionRetire>;
 
 // ---- replies -------------------------------------------------------------
 

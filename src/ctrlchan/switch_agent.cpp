@@ -19,6 +19,14 @@ void SwitchAgent::deliver(const Request& request, ReplyHandler on_reply) {
         if constexpr (std::is_same_v<T, FlowMod>) return params_.flow_mod_cost;
         if constexpr (std::is_same_v<T, PacketOut>) return params_.packet_out_cost;
         if constexpr (std::is_same_v<T, FlowStatsRequest>) return params_.stats_cost;
+        if constexpr (std::is_same_v<T, PartitionInstall>) {
+          // A bulk authority install pays per rule, like the equivalent
+          // stream of FlowMods would.
+          return params_.flow_mod_cost *
+                 static_cast<double>(std::max<std::size_t>(1, msg.rules.size()));
+        }
+        if constexpr (std::is_same_v<T, PartitionFlip>) return params_.flow_mod_cost;
+        if constexpr (std::is_same_v<T, PartitionRetire>) return params_.flow_mod_cost;
         return 0.0;  // barriers only wait for the pipeline to drain
       },
       request);
@@ -80,6 +88,34 @@ void SwitchAgent::apply(const Request& request, const ReplyHandler& on_reply) {
             reply.entries = collect_stats(switch_, msg.origin);
             on_reply(reply);
           }
+        } else if constexpr (std::is_same_v<T, PartitionInstall>) {
+          // Migration "make" step. A failed switch acks ok=false without
+          // touching its (cleared) table, so the migration state machine can
+          // abort instead of believing the destination is stocked.
+          bool ok = !switch_.failed();
+          if (ok) {
+            for (const auto& rule : msg.rules) {
+              switch_.table().install(rule, Band::kAuthority, now);
+            }
+          }
+          if (on_reply) on_reply(FlowModReply{msg.xid, ok});
+        } else if constexpr (std::is_same_v<T, PartitionFlip>) {
+          bool ok = !switch_.failed();
+          if (ok) {
+            // Same rule id as the existing partition redirect: the install
+            // refreshes the entry in place, atomically swinging the encap
+            // target. Re-applying a duplicate flip is a no-op.
+            switch_.table().install(msg.rule, Band::kPartition, now);
+          }
+          if (on_reply) on_reply(FlowModReply{msg.xid, ok});
+        } else if constexpr (std::is_same_v<T, PartitionRetire>) {
+          bool ok = !switch_.failed();
+          if (ok) {
+            for (const RuleId id : msg.rule_ids) {
+              switch_.table().remove(id, Band::kAuthority);
+            }
+          }
+          if (on_reply) on_reply(FlowModReply{msg.xid, ok});
         } else if constexpr (std::is_same_v<T, FlowExport>) {
           // A switch agent is not a collector; export batches terminate at a
           // CollectorEndpoint. Still ack so a misdirected batch cannot wedge

@@ -49,6 +49,12 @@ namespace difane::shard {
 inline constexpr std::uint32_t kNoShard = 0xffffffffu;
 std::uint32_t current_shard();
 
+// True when the calling code runs outside shard execution — on the
+// coordinator, in a global event (workers parked), or in setup code. State
+// that spans shards (the partition plan, live-migration bookkeeping) may
+// only be mutated when this holds; the migration state machine asserts it.
+inline bool in_global_context() { return current_shard() == kNoShard; }
+
 class Executor {
  public:
   // `global` is the engine for events that may touch cross-shard state

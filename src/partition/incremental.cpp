@@ -84,6 +84,10 @@ void IncrementalPartitioner::split_leaf(std::uint32_t node,
   left.region.set_exact(static_cast<std::size_t>(bit), 1, 0);
   right.region = nodes_[node].region;
   right.region.set_exact(static_cast<std::size_t>(bit), 1, 1);
+  // Sticky assignment: both halves start at the parent's home, so a split
+  // moves no rules off-switch until a rebalance decides to.
+  left.home = nodes_[node].home;
+  right.home = nodes_[node].home;
   for (const auto& rule : nodes_[node].rules) {
     // Re-clip to each child region the rule reaches.
     if (auto li = intersect(rule.match, left.region)) {
@@ -186,6 +190,10 @@ std::vector<PartitionId> IncrementalPartitioner::remove(RuleId id) {
           rebuilt.push_back(std::move(copy));
         }
       }
+      // The merged leaf keeps the heavier child's home (ties go left): the
+      // bulk of its rules already live there, so the merge itself moves the
+      // smaller share.
+      n.home = l.rules.size() >= r.rules.size() ? l.home : r.home;
       l.alive = false;
       r.alive = false;
       l.rules.clear();
@@ -228,22 +236,38 @@ std::size_t IncrementalPartitioner::total_rules() const {
   return n;
 }
 
-PartitionPlan IncrementalPartitioner::snapshot() const {
+PartitionPlan IncrementalPartitioner::snapshot() {
   std::vector<std::uint32_t> leaves;
   collect_leaves(root_, leaves);
-  // LPT packing, mirroring the batch partitioner.
-  std::vector<std::size_t> order(leaves.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return nodes_[leaves[a]].rules.size() > nodes_[leaves[b]].rules.size();
-  });
+  // Sticky assignment: seed the per-authority loads from leaves that already
+  // have a home, then LPT-pack only the homeless ones (largest first onto
+  // the lightest authority — the same packing the batch partitioner uses,
+  // restricted to the leaves that actually need a decision).
   std::vector<std::size_t> load(authority_count_, 0);
   std::vector<AuthorityIndex> assignment(leaves.size(), 0);
-  for (const auto i : order) {
+  std::vector<std::size_t> unassigned;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const Node& n = nodes_[leaves[i]];
+    if (n.home >= 0 && static_cast<std::uint32_t>(n.home) < authority_count_) {
+      assignment[i] = static_cast<AuthorityIndex>(n.home);
+      load[assignment[i]] += n.rules.size();
+    } else {
+      unassigned.push_back(i);
+    }
+  }
+  std::sort(unassigned.begin(), unassigned.end(),
+            [&](std::size_t a, std::size_t b) {
+              const auto la = nodes_[leaves[a]].rules.size();
+              const auto lb = nodes_[leaves[b]].rules.size();
+              if (la != lb) return la > lb;
+              return a < b;  // deterministic tie-break by leaf order
+            });
+  for (const auto i : unassigned) {
     const auto lightest = static_cast<AuthorityIndex>(
         std::min_element(load.begin(), load.end()) - load.begin());
     assignment[i] = lightest;
     load[lightest] += nodes_[leaves[i]].rules.size();
+    nodes_[leaves[i]].home = static_cast<std::int32_t>(lightest);
   }
   std::vector<Partition> partitions;
   partitions.reserve(leaves.size());

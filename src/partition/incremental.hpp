@@ -30,9 +30,14 @@ class IncrementalPartitioner {
   std::size_t partition_count() const;
   std::size_t total_rules() const;  // sum of clipped copies across leaves
 
-  // Materialize the current tree as a PartitionPlan (authority assignment is
-  // recomputed with the same LPT packing the batch partitioner uses).
-  PartitionPlan snapshot() const;
+  // Materialize the current tree as a PartitionPlan. Authority assignment is
+  // sticky: leaves keep the home they were given by an earlier snapshot
+  // (split children inherit the parent's home, a merge keeps the heavier
+  // child's), and only homeless leaves are LPT-packed onto the lightest
+  // authority. Two successive snapshots without churn are therefore
+  // identical, and churn moves only the partitions it touched — the property
+  // live migration needs so a re-plan doesn't reshuffle the whole network.
+  PartitionPlan snapshot();
 
  private:
   struct Node {
@@ -41,6 +46,7 @@ class IncrementalPartitioner {
     std::uint32_t left = 0, right = 0;
     std::vector<Rule> rules;    // leaf only: clipped copies, priority-sorted
     bool alive = true;          // false once merged away
+    std::int32_t home = -1;     // sticky authority assignment; -1 = unassigned
   };
 
   void build_initial();

@@ -111,4 +111,14 @@ void PartitionPlan::fail_over(AuthorityIndex failed) {
   }
 }
 
+void PartitionPlan::re_home(std::size_t index, AuthorityIndex new_primary) {
+  expects(index < partitions_.size(), "re_home: partition index out of range");
+  expects(new_primary < authority_count_, "re_home: authority out of range");
+  auto& p = partitions_[index];
+  if (p.primary == new_primary) return;
+  const AuthorityIndex old_primary = p.primary;
+  p.primary = new_primary;
+  p.backup = old_primary;
+}
+
 }  // namespace difane

@@ -64,6 +64,13 @@ class PartitionPlan {
   // Reassign the partitions of a failed authority to their backups.
   void fail_over(AuthorityIndex failed);
 
+  // Live migration: re-home partition `index` to `new_primary`. The old
+  // primary becomes the backup (never retired from the plan), so a crash of
+  // the new home mid- or post-migration rolls back via the ordinary
+  // fail_over path to a fully stocked copy. Region and rules are untouched —
+  // bound AuthorityNode pointers into partitions() stay valid.
+  void re_home(std::size_t index, AuthorityIndex new_primary);
+
  private:
   std::vector<Partition> partitions_;
   std::size_t original_rule_count_ = 0;

@@ -65,12 +65,15 @@ Violation check_classifier_agreement(const Counterexample& cex,
 
 namespace {
 
-// Shared body for the clean and faulty transparency oracles. `difane_faults`
-// (nullable) applies only to the DIFANE side, together with reliable control
-// channels; the NOX oracle always runs on the clean wire.
+// Shared body for the clean, faulty, and migrating transparency oracles.
+// `difane_faults` (nullable) applies only to the DIFANE side, together with
+// reliable control channels; the NOX oracle always runs on the clean wire.
+// `migration_seed` (nullable) additionally enables live migration on the
+// DIFANE side and schedules 1..3 deterministic mid-trace re-homes.
 Violation nox_vs_difane_impl(const Counterexample& cex, const TopoGen& topo,
                              CacheStrategy strategy, double cache_idle_timeout,
-                             const FaultPlan* difane_faults) {
+                             const FaultPlan* difane_faults,
+                             const std::uint64_t* migration_seed = nullptr) {
   const RuleTable policy = cex.table();
   const auto flows = flows_from_packets(
       cex.packets, static_cast<std::uint32_t>(topo.edge_switches));
@@ -91,12 +94,39 @@ Violation nox_vs_difane_impl(const Counterexample& cex, const TopoGen& topo,
     params.reliable_ctrl = true;
     params.faults = *difane_faults;
   }
+  if (migration_seed != nullptr) {
+    params.authority_count = std::max<std::uint32_t>(2, params.authority_count);
+    // Authorities live on the core tier.
+    params.core_switches =
+        std::max<std::size_t>(params.core_switches, params.authority_count);
+    params.reliable_ctrl = true;  // migration's transport
+    params.migration.enabled = true;
+    params.migration.wave_size = 2;
+    params.migration.drain_timeout = 0.004;
+  }
   Scenario difane(policy, params);
+  if (migration_seed != nullptr) {
+    // 1..3 re-homes at 10..60ms — inside the trace (flow i starts at
+    // i * 5ms). Destinations drawn uniformly; a re-home to the current
+    // primary is a documented no-op, so some draws deliberately test that.
+    Rng mrng(*migration_seed);
+    const std::uint64_t n_parts = difane.plan()->partitions().size();
+    const std::uint64_t moves = 1 + mrng.uniform(0, 2);
+    for (std::uint64_t i = 0; i < moves; ++i) {
+      const auto index = static_cast<std::size_t>(mrng.uniform(0, n_parts - 1));
+      const auto dest = static_cast<AuthorityIndex>(
+          mrng.uniform(0, params.authority_count - 1));
+      difane.request_rehome(index, dest,
+                            0.01 + 0.02 * static_cast<double>(i) +
+                                mrng.uniform01() * 0.01);
+    }
+  }
   const auto& ds = difane.run(flows);
 
   params.mode = Mode::kNox;
   params.reliable_ctrl = false;
   params.faults = FaultPlan{};
+  params.migration = MigrationParams{};  // NOX has no partitions to move
   Scenario nox(policy, params);
   const auto& ns = nox.run(flows);
 
@@ -185,6 +215,16 @@ Violation check_nox_vs_difane_faulty(const Counterexample& cex, const TopoGen& t
                                      const FaultPlan& difane_faults) {
   return nox_vs_difane_impl(cex, topo, strategy, cache_idle_timeout,
                             &difane_faults);
+}
+
+Violation check_nox_vs_difane_migrating(const Counterexample& cex,
+                                        const TopoGen& topo,
+                                        CacheStrategy strategy,
+                                        double cache_idle_timeout,
+                                        const FaultPlan& difane_faults,
+                                        std::uint64_t migration_seed) {
+  return nox_vs_difane_impl(cex, topo, strategy, cache_idle_timeout,
+                            &difane_faults, &migration_seed);
 }
 
 Violation check_partition(const Counterexample& cex, const PartitionerParams& params,

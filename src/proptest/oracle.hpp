@@ -49,6 +49,22 @@ Violation check_nox_vs_difane_faulty(const Counterexample& cex, const TopoGen& t
                                      double cache_idle_timeout,
                                      const FaultPlan& difane_faults);
 
+// (2c) Transparency across live partition migration: the DIFANE side runs
+// with reliable control channels, the given message faults, and 1..3
+// make-before-break re-homes (derived deterministically from
+// `migration_seed`) firing mid-trace; the NOX side stays clean and static.
+// A migration moves authority state and flips redirects while packets are in
+// flight, yet delivered-packet dispositions and per-policy-rule counters
+// must still equal the fault-free single-table reference — moving a
+// partition may change *where* a packet is resolved, never *what* happens
+// to it. Forces authority_count >= 2 (a move needs a destination).
+Violation check_nox_vs_difane_migrating(const Counterexample& cex,
+                                        const TopoGen& topo,
+                                        CacheStrategy strategy,
+                                        double cache_idle_timeout,
+                                        const FaultPlan& difane_faults,
+                                        std::uint64_t migration_seed);
+
 // (3) Partitioner post-conditions for any CutStrategy: regions disjoint and
 // complete, every policy rule reachable through some partition, per-packet
 // match agreement (winner origin + action) between the clipped tables and

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "partition/incremental.hpp"
 #include "workload/rulegen.hpp"
 
@@ -165,6 +167,99 @@ TEST(Incremental, ChurnStressKeepsSemantics) {
   Rng rng2(59);
   const auto violation = plan.validate(inc.policy(), rng2, 3000);
   EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+// Live migration reads successive snapshots of the incremental partitioner;
+// a snapshot that re-shuffled assignments on every call would masquerade as
+// load drift and trigger spurious moves. snapshot() must be sticky: calling
+// it twice with no churn in between yields the identical assignment.
+TEST(Incremental, SnapshotAssignmentIsSticky) {
+  const auto policy = classbench_like(600, 61);
+  IncrementalPartitioner inc(policy, small_params(80), 3);
+  const auto first = inc.snapshot();
+  const auto second = inc.snapshot();
+  ASSERT_EQ(first.partitions().size(), second.partitions().size());
+  for (std::size_t i = 0; i < first.partitions().size(); ++i) {
+    EXPECT_EQ(first.partitions()[i].id, second.partitions()[i].id);
+    EXPECT_EQ(first.partitions()[i].primary, second.partitions()[i].primary)
+        << "partition " << first.partitions()[i].id << " re-homed by a "
+        << "no-op snapshot";
+    EXPECT_EQ(first.partitions()[i].backup, second.partitions()[i].backup);
+  }
+}
+
+// Churn in one corner of flow space must not re-home unrelated leaves: a
+// leaf that survives an insert/remove burst untouched (same id, same rule
+// count) keeps the authority it had before the burst.
+TEST(Incremental, ChurnPreservesUntouchedHomes) {
+  const auto policy = classbench_like(600, 67);
+  IncrementalPartitioner inc(policy, small_params(80), 3);
+  const auto before = inc.snapshot();
+  std::map<PartitionId, AuthorityIndex> homes;
+  for (const auto& p : before.partitions()) homes[p.id] = p.primary;
+
+  // A burst of narrow inserts and removals confined to one /16.
+  Rng rng(71);
+  for (RuleId i = 0; i < 30; ++i) {
+    Rule r;
+    r.id = 400000 + i;
+    r.priority = static_cast<Priority>(4000 + i);
+    match_prefix(r.match, Field::kIpDst,
+                 make_ipv4(10, 20, static_cast<std::uint8_t>(i), 0), 24);
+    r.action = Action::drop();
+    inc.insert(r);
+    if (i % 3 == 0) inc.remove(400000 + i);
+  }
+
+  const auto after = inc.snapshot();
+  std::size_t surviving = 0;
+  for (const auto& p : after.partitions()) {
+    const auto it = homes.find(p.id);
+    if (it == homes.end()) continue;  // split/merged leaves may re-home
+    ++surviving;
+    EXPECT_EQ(p.primary, it->second)
+        << "untouched partition " << p.id << " was re-homed by churn";
+  }
+  EXPECT_GT(surviving, 0u);  // the burst was narrow: most leaves survive
+}
+
+// Two partitioners fed the identical op sequence produce identical
+// snapshots — assignment must be a deterministic function of the history,
+// never of iteration order or addresses (migration replay-by-seed and the
+// threads=1-vs-N differential both lean on this).
+TEST(Incremental, IdenticalHistoryYieldsIdenticalAssignment) {
+  const auto policy = classbench_like(400, 73);
+  const auto churn = [&](IncrementalPartitioner& inc) {
+    Rng rng(79);
+    RuleId next_id = 300000;
+    for (int op = 0; op < 60; ++op) {
+      if (rng.bernoulli(0.6)) {
+        Rule r;
+        r.id = next_id++;
+        r.priority = static_cast<Priority>(rng.uniform(1, 5000));
+        const auto addr = static_cast<std::uint32_t>(rng.uniform(0, 0xffffffffULL));
+        match_prefix(r.match, Field::kIpDst, addr, 8 + rng.uniform(0, 20));
+        r.action = rng.bernoulli(0.5) ? Action::drop() : Action::forward(1);
+        inc.insert(r);
+      } else if (next_id > 300000) {
+        inc.remove(300000 + rng.uniform(0, next_id - 300001));
+      }
+      if (op % 10 == 0) (void)inc.snapshot();  // interleaved reads are part of the history
+    }
+  };
+  IncrementalPartitioner a(policy, small_params(60), 3);
+  IncrementalPartitioner b(policy, small_params(60), 3);
+  churn(a);
+  churn(b);
+  const auto pa = a.snapshot();
+  const auto pb = b.snapshot();
+  ASSERT_EQ(pa.partitions().size(), pb.partitions().size());
+  for (std::size_t i = 0; i < pa.partitions().size(); ++i) {
+    EXPECT_EQ(pa.partitions()[i].id, pb.partitions()[i].id);
+    EXPECT_EQ(pa.partitions()[i].primary, pb.partitions()[i].primary);
+    EXPECT_EQ(pa.partitions()[i].backup, pb.partitions()[i].backup);
+    EXPECT_EQ(pa.partitions()[i].rules.size(), pb.partitions()[i].rules.size());
+  }
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 // strategies, eviction-heavy cache sizes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "proptest/oracle.hpp"
 #include "proptest/property.hpp"
 
@@ -80,6 +82,59 @@ DIFANE_PROPERTY(NoxVsDifaneTransparencyUnderFaults, 120) {
   };
   if (const Violation v = oracle(cex)) {
     FAIL() << "seed 0x" << std::hex << ctx.case_seed << std::dec << " strategy "
+           << cache_strategy_name(strategy) << " edges " << topo.edge_switches
+           << " cores " << topo.core_switches << " authorities "
+           << topo.authority_count << " idle " << idle_timeout << " "
+           << plan.to_string() << "\n"
+           << proptest::shrink_report(oracle, cex, 1000);
+  }
+}
+
+// Transparency must also survive live partition migration: the DIFANE side
+// re-homes 1..3 partitions mid-trace (make-before-break over the reliable
+// channel, sometimes through message loss/duplication/jitter), while the NOX
+// oracle stays clean and static. Packets in flight during a move may be
+// redirected to the old home, the new home, or chase a re-encap — but every
+// delivered packet and every per-policy-rule counter must match the
+// single-table reference exactly.
+DIFANE_PROPERTY(NoxVsDifaneTransparencyMigrating, 80) {
+  proptest::TableGenParams tg;
+  tg.max_rules = 24;
+  tg.add_default = true;
+  Counterexample cex;
+  cex.rules = proptest::gen_table(ctx.rng, tg).rules();
+  cex.packets = proptest::gen_packets(ctx.rng, cex.table(), 24);
+
+  proptest::TopoGen topo = proptest::gen_topology(ctx.rng);
+  topo.authority_count = std::max<std::uint32_t>(2, topo.authority_count);
+  topo.core_switches = std::max<std::size_t>(topo.core_switches,
+                                             topo.authority_count);
+  static constexpr CacheStrategy kStrategies[] = {
+      CacheStrategy::kMicroflow, CacheStrategy::kDependentSet,
+      CacheStrategy::kCoverSet};
+  const CacheStrategy strategy = kStrategies[ctx.rng.uniform(0, 2)];
+  const double idle_timeout = ctx.rng.bernoulli(0.5) ? 0.02 : 10.0;
+
+  // Half the cases migrate on a clean wire (isolating the migration
+  // machinery), half through message-level faults.
+  FaultPlan plan;
+  plan.seed = ctx.case_seed;
+  if (ctx.rng.bernoulli(0.5)) {
+    plan.msg_loss = ctx.rng.uniform01() * 0.3;
+    plan.msg_dup = ctx.rng.uniform01() * 0.2;
+    plan.msg_jitter_prob = ctx.rng.uniform01() * 0.4;
+    plan.msg_jitter_max = ctx.rng.uniform01() * 2e-3;
+  }
+  const std::uint64_t migration_seed = ctx.rng.next_u64();
+
+  const auto oracle = [&](const Counterexample& c) {
+    return proptest::check_nox_vs_difane_migrating(c, topo, strategy,
+                                                   idle_timeout, plan,
+                                                   migration_seed);
+  };
+  if (const Violation v = oracle(cex)) {
+    FAIL() << "seed 0x" << std::hex << ctx.case_seed << " migration_seed 0x"
+           << migration_seed << std::dec << " strategy "
            << cache_strategy_name(strategy) << " edges " << topo.edge_switches
            << " cores " << topo.core_switches << " authorities "
            << topo.authority_count << " idle " << idle_timeout << " "

@@ -59,10 +59,12 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-# The chaos suite (fault injection + reliable channels + verifier gate) runs
-# as part of the full ctest pass above; run it again by label so a chaos
-# regression is called out by name. A failure prints a replay seed — rerun
-# that one case with DIFANE_PROPTEST_REPLAY=0x<seed> ./build/tests/test_prop_faults
+# The chaos suite (fault injection + reliable channels + verifier gate, plus
+# the live-migration make-before-break properties) runs as part of the full
+# ctest pass above; run it again by label so a chaos regression is called out
+# by name. A failure prints a replay seed — rerun that one case with
+# DIFANE_PROPTEST_REPLAY=0x<seed> ./build/tests/test_prop_faults (or
+# .../test_prop_migration)
 echo "== chaos: ctest -L chaos =="
 ctest --test-dir build --output-on-failure -L chaos -j "$jobs"
 
@@ -146,9 +148,20 @@ TSAN_OPTIONS=halt_on_error=1 \
 echo "== chaos (tsan): ctest -L chaos =="
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -L chaos -j "$jobs"
-echo "== sharded engine (tsan): test_sharded_engine =="
+# gtest discovery registers Suite.Test names, not binary names, so the name
+# filters below match the suites (--no-tests=error guards against a filter
+# silently matching nothing).
+echo "== sharded engine (tsan): ShardedExecutor suite =="
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-tsan --output-on-failure -R '^test_sharded_engine$' \
-  -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure --no-tests=error \
+  -R '^(ShardedExecutor|ScenarioThreads)\.' -j "$jobs"
+# Live migration runs its state machine in global events while workers park
+# at shard barriers; the 4-thread differential and parallel-replay properties
+# are the racing surface, so call the suite out by name under TSan (it also
+# ran above inside -L chaos).
+echo "== live migration (tsan): MigrationChaos suites =="
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure --no-tests=error \
+  -R 'MigrationChaos' -j "$jobs"
 
 echo "== all checks passed =="
