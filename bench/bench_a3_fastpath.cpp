@@ -234,6 +234,71 @@ int main(int argc, char** argv) {
       }
     }
 
+    // -- Prefetch-depth sweep (ScenarioParams::prefetch_depth): a table
+    // whose hot keys carry duplicate exact-match entries, so each key's
+    // chain is kChainLen long and the resolve pass touches more than the
+    // head. Depth 1 (the default) prefetches only the head; deeper settings
+    // pull the rest of the chain. Results must equal the scalar walk at
+    // every depth — the hint can only move wall time, and on single-core
+    // hosts the differences are small; the row exists so multi-core hosts
+    // can tune the knob against their own cache hierarchy.
+    {
+      const std::size_t kChainLen = 3;
+      const std::size_t chain_headers = args.pick<std::size_t>(20000, 5000);
+      const std::size_t chain_lookups = args.pick<std::size_t>(1000000, 200000);
+      rep.report.params["chain_len"] = obs::Json(kChainLen);
+      rep.report.params["chain_headers"] = obs::Json(chain_headers);
+      FlowTable ft(/*cache_capacity=*/kChainLen * chain_headers + 16);
+      std::vector<BitVec> headers;
+      headers.reserve(chain_headers);
+      for (std::size_t i = 0; i < chain_headers; ++i) {
+        headers.push_back(Ternary::wildcard().sample_point(rng));
+        for (std::size_t dup = 0; dup < kChainLen; ++dup) {
+          ft.install(microflow_rule(
+                         static_cast<RuleId>(3000000 + dup * chain_headers + i),
+                         headers.back()),
+                     Band::kCache, 0.0);
+        }
+      }
+      std::uint64_t scalar_checksum = 0;
+      for (std::size_t i = 0; i < chain_lookups; ++i) {
+        const FlowEntry* e = ft.lookup(headers[i % headers.size()], 1.0);
+        if (e != nullptr) scalar_checksum += e->rule.id;
+      }
+      for (const std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+        ft.set_prefetch_depth(depth);
+        const BitVec* keys[32];
+        const FlowEntry* out[32];
+        double nows[32];
+        for (std::size_t k = 0; k < 32; ++k) nows[k] = 1.0;
+        std::uint64_t checksum = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < chain_lookups; i += 32) {
+          for (std::size_t k = 0; k < 32; ++k) {
+            keys[k] = &headers[(i + k) % headers.size()];
+          }
+          ft.lookup_batch(keys, nows, nullptr, 32, out, true);
+          for (std::size_t k = 0; k < 32; ++k) {
+            if (out[k] != nullptr) checksum += out[k]->rule.id;
+          }
+        }
+        const double wall = seconds_since(t0);
+        const std::string key = tag("lookup_chain_depth", depth);
+        rep.set(key + "_matches_scalar",
+                checksum % 1000000007ULL == scalar_checksum % 1000000007ULL
+                    ? 1.0
+                    : 0.0);
+        rep.set(key + "_wall_ns_per_op",
+                1e9 * wall / static_cast<double>(chain_lookups));
+        table.add_row({"chain=3, prefetch depth=" + std::to_string(depth),
+                       TextTable::integer(static_cast<long long>(chain_lookups)),
+                       TextTable::num(
+                           1e9 * wall / static_cast<double>(chain_lookups), 1),
+                       "-"});
+      }
+      ft.set_prefetch_depth(1);
+    }
+
     // -- Expiry churn: entries with idle timeouts stream-expire as installs
     // and lookups advance the clock, so the watermark trips repeatedly and
     // every sweep finds work. This is the lazy-expiry worst case.

@@ -207,6 +207,19 @@ void validate_execution(const ScenarioParams& p) {
                           "-slot outbox ring holds; raise "
                           "shard_ring_capacity or shrink burst");
   }
+  if (p.prefetch_depth == 0) {
+    throw ConfigError("prefetch_depth",
+                      "depth counts exact-match chain entries prefetched per "
+                      "key and must be >= 1 (the batch pass itself is "
+                      "enabled by burst > 0, not by this knob)");
+  }
+  if (p.prefetch_depth > FlowTable::kMaxBatch) {
+    throw ConfigError("prefetch_depth",
+                      "a depth of " + std::to_string(p.prefetch_depth) +
+                          " would chase duplicate chains past any plausible "
+                          "cache benefit; the supported range is 1.." +
+                          std::to_string(FlowTable::kMaxBatch));
+  }
 }
 
 void validate_reliability(const ScenarioParams& p) {
@@ -328,6 +341,13 @@ Scenario::Scenario(RuleTable policy, ScenarioParams params)
       }
       break;
     }
+  }
+  // Batch prefetch depth is a per-table hardware hint (it matters only when
+  // the burst data plane's lookup_prefetch pass runs, and never changes
+  // results). Applied to every switch up front, before any rules land.
+  for (SwitchId id = 0; id < net_.switch_count(); ++id) {
+    net_.sw(id).table().set_prefetch_depth(
+        static_cast<std::uint32_t>(params_.prefetch_depth));
   }
   switch (params_.mode) {
     case Mode::kDifane: {
@@ -649,9 +669,12 @@ void Scenario::build_shards() {
       shard_of_[id] = static_cast<std::uint32_t>(id % sw_shards);
     }
   }
+  shard::Executor::Options opts;
+  opts.ring_capacity = params_.shard_ring_capacity;
+  opts.steal = params_.steal;
+  opts.pin_workers = params_.pin_workers;
   exec_ = std::make_unique<shard::Executor>(
-      n_shards, params_.threads, params_.link.latency, &net_.engine(),
-      params_.shard_ring_capacity);
+      n_shards, params_.threads, params_.link.latency, &net_.engine(), opts);
   shard_stats_.resize(n_shards);
 }
 
@@ -1018,6 +1041,7 @@ void Scenario::inject(const FlowSpec& flow) {
 void Scenario::inject_bursts(const std::vector<FlowSpec>& flows) {
   burst_plan_ = coalesce_bursts(
       flows, static_cast<std::uint32_t>(topo_.edge.size()), params_.burst);
+  burst_resume_.assign(burst_plan_.groups.size(), BurstResume{});
   for (const auto& b : burst_plan_.bursts) {
     const SwitchId ingress = topo_.edge[b.group];
     const double when = burst_plan_.groups[b.group][b.begin].at;
@@ -1036,26 +1060,37 @@ void Scenario::inject_bursts(const std::vector<FlowSpec>& flows) {
 //    the FIFO tie-break, exactly like the inject-time event it replaces);
 //  * an arrival at or past the engine's horizon belongs to a later window
 //    (run_before would not have popped its per-packet event).
-// Either way the remainder reschedules at the next arrival's own time, so
-// the shard's peek_time() sequence — which sizes conservative windows —
-// also matches the scalar run's.
+// Either way the remainder reschedules at the next arrival's own time, and
+// the continuation picks its chunk's memoized batch state back up from
+// burst_resume_ — the hash/prefetch pass is per chunk, not per deferral, so
+// a redirect storm that defers after every packet still pays batch cost
+// once per kMaxBatch packets. The shard's peek_time() sequence — which
+// sizes conservative windows — also matches the scalar run's, and batch
+// memoization is invisible to it (lookup_prefetch never mutates).
 void Scenario::process_burst(std::uint32_t group, std::uint32_t begin,
                              std::uint32_t end) {
   const auto& arrivals = burst_plan_.groups[group];
   const SwitchId at = topo_.edge[group];
+  BurstResume& resume = burst_resume_[group];
   std::uint32_t i = begin;
   while (i < end) {
     // Chunk of up to kMaxBatch arrivals: memoize exact-match heads and
-    // prefetch their slab entries before resolving any of them.
-    const std::uint32_t chunk_end =
-        std::min<std::uint32_t>(end, i + FlowTable::kMaxBatch);
-    FlowTable& table = net_.sw(at).table();
-    const BitVec* keys[FlowTable::kMaxBatch];
-    for (std::uint32_t k = i; k < chunk_end; ++k) {
-      keys[k - i] = &arrivals[k].header;
+    // prefetch their slab entries before resolving any of them. A resumed
+    // continuation lands inside the stored chunk and skips straight to the
+    // resolve loop; stale memoized heads (the table mutated since pass 1)
+    // are recomputed per key by lookup_prepared's generation check.
+    if (!(resume.chunk_begin <= i && i < resume.chunk_end)) {
+      resume.chunk_begin = i;
+      resume.chunk_end = std::min<std::uint32_t>(end, i + FlowTable::kMaxBatch);
+      const FlowTable& table = net_.sw(at).table();
+      const BitVec* keys[FlowTable::kMaxBatch];
+      for (std::uint32_t k = i; k < resume.chunk_end; ++k) {
+        keys[k - i] = &arrivals[k].header;
+      }
+      table.lookup_prefetch(keys, resume.chunk_end - i, resume.batch);
     }
-    FlowTable::BatchState batch;
-    table.lookup_prefetch(keys, chunk_end - i, batch);
+    const std::uint32_t chunk_begin = resume.chunk_begin;
+    const std::uint32_t chunk_end = resume.chunk_end;
     for (std::uint32_t k = i; k < chunk_end; ++k) {
       const auto& a = arrivals[k];
       Engine& eng = cur_engine();
@@ -1074,7 +1109,7 @@ void Scenario::process_burst(std::uint32_t group, std::uint32_t begin,
       pkt.ingress = at;
       pkt.is_first_of_flow = a.first;
       st().tracer.on_injected(pkt);
-      process_injected(at, pkt, batch, k - i);
+      process_injected(at, pkt, resume.batch, k - chunk_begin);
     }
     i = chunk_end;
   }

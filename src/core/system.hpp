@@ -186,6 +186,33 @@ struct ScenarioParams {
   // cross-shard messages spill to a fallback vector — correct, just slower.
   std::size_t shard_ring_capacity = 1024;
 
+  // Work stealing in the sharded executor (threads > 1 only): a worker that
+  // drains its home shards claims runnable shards homed on busier workers,
+  // in a deterministic scan order, one claimant per shard per window.
+  // Results are *identical* with stealing on or off — a shard's event
+  // stream does not depend on which thread runs it — so this is purely a
+  // wall-clock knob for skewed shard loads (hot authority serving sets
+  // under Zipf traffic). Default on; turn off to measure the imbalance.
+  bool steal = true;
+
+  // Pin each executor worker thread to one CPU (worker index mod hardware
+  // concurrency; Linux pthread_setaffinity_np, no-op elsewhere). Keeps the
+  // worker↔core mapping — and on multi-socket hosts the NUMA locality of
+  // first-touched shard state — stable across windows. Byte-identical to
+  // unpinned execution by the executor's determinism contract; on a
+  // single-node host (like the CI container) it changes nothing at all.
+  bool pin_workers = false;
+
+  // Burst data plane only (burst > 0): how many entries of a key's
+  // exact-match duplicate chain the batch prefetch pass pulls toward the
+  // cache before the resolve pass runs. 1 (the default) prefetches each
+  // chain head — the original behavior; deeper values help tables where
+  // hot keys carry refreshed/expired duplicates, at the cost of cache
+  // pollution when chains are short. A pure hardware hint: results are
+  // byte-identical at any depth (test_prop_burst randomizes it). Range
+  // 1..FlowTable::kMaxBatch, validated.
+  std::size_t prefetch_depth = 1;
+
   // Reject mis-wired parameter combinations before any topology or control
   // plane is built. Throws difane::ConfigError naming the offending field.
   // The Scenario constructor calls this; call it yourself to fail fast when
@@ -318,6 +345,15 @@ class Scenario {
   Network& net() { return net_; }
   const RuleTable& policy() const { return policy_; }
   const ScenarioStats& stats() const { return stats_; }
+
+  // Shards executed by a worker other than their home worker (threads > 1
+  // with params.steal; 0 otherwise). Host-timing dependent — which steals
+  // succeed depends on OS scheduling even though results never do — so this
+  // is deliberately *not* part of ScenarioStats or any snapshot: it may
+  // only feed tests and wall-style (ungated) telemetry.
+  std::uint64_t shards_stolen() const {
+    return exec_ != nullptr ? exec_->shards_stolen() : 0;
+  }
   const PartitionPlan* plan() const {
     return difane_ ? &difane_->plan() : nullptr;
   }
@@ -495,6 +531,22 @@ class Scenario {
   // Burst-mode arrival schedule (params_.burst > 0 only): stable storage the
   // burst handlers index into, so each event captures just {group, range}.
   BurstPlan burst_plan_;
+  // Batch resume state, one slot per ingress group: the chunk bounds and
+  // memoized exact-match heads of the chunk a deferred burst was working
+  // through. The continuation finds its chunk still here and resumes the
+  // batch pass mid-chunk instead of re-hashing and re-prefetching the whole
+  // tail (an authority-redirect-heavy burst used to degrade to one full
+  // 64-key prefetch pass per resumed packet). Stale heads are harmless:
+  // lookup_prepared() recomputes per key when the table's generation moved.
+  // A group's handlers all run on its ingress switch's shard, so each slot
+  // is single-threaded within a window and handed across windows by the
+  // executor's barrier.
+  struct BurstResume {
+    std::uint32_t chunk_begin = 0;
+    std::uint32_t chunk_end = 0;  // begin == end: nothing stored
+    FlowTable::BatchState batch;
+  };
+  std::vector<BurstResume> burst_resume_;
   // Live-migration state (params_.migration.enabled only; all empty
   // otherwise so the migration-off path is byte-identical to before).
   // Mutated exclusively from global events. Slots are stable for the run so

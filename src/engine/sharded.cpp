@@ -2,6 +2,12 @@
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "obs/metrics.hpp"
 #include "util/contract.hpp"
 
 namespace difane::shard {
@@ -21,13 +27,18 @@ std::uint32_t current_shard() { return t_ctx.shard; }
 
 Executor::Executor(std::size_t shards, std::size_t threads, SimTime lookahead,
                    Engine* global, std::size_t ring_capacity)
-    : global_(global), lookahead_(lookahead) {
+    : Executor(shards, threads, lookahead, global,
+               Options{ring_capacity, /*steal=*/true, /*pin_workers=*/false}) {}
+
+Executor::Executor(std::size_t shards, std::size_t threads, SimTime lookahead,
+                   Engine* global, Options options)
+    : global_(global), lookahead_(lookahead), options_(options) {
   expects(shards >= 1, "Executor: need at least one shard");
   expects(lookahead > 0.0,
           "Executor: conservative windows need a positive lookahead "
           "(minimum link latency)");
   expects(global != nullptr, "Executor: need a global engine");
-  expects(util::is_power_of_two(ring_capacity),
+  expects(util::is_power_of_two(options_.ring_capacity),
           "Executor: ring capacity must be a power of two");
   engines_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
@@ -35,13 +46,19 @@ Executor::Executor(std::size_t shards, std::size_t threads, SimTime lookahead,
   }
   outboxes_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    outboxes_.push_back(std::make_unique<Outbox>(ring_capacity));
+    outboxes_.push_back(std::make_unique<Outbox>(options_.ring_capacity));
   }
   const std::size_t workers = std::min(threads, shards);
   if (workers >= 2) {
     worker_shards_.resize(workers);
+    home_worker_.resize(shards);
     for (std::size_t s = 0; s < shards; ++s) {
       worker_shards_[s % workers].push_back(s);
+      home_worker_[s] = static_cast<std::uint32_t>(s % workers);
+    }
+    claims_ = std::make_unique<std::atomic<std::uint64_t>[]>(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      claims_[s].store(0, std::memory_order_relaxed);
     }
     workers_.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
@@ -94,6 +111,19 @@ void Executor::run_shard_inline(std::size_t s, SimTime wend) {
 }
 
 void Executor::worker_main(std::size_t worker) {
+#if defined(__linux__)
+  if (options_.pin_workers) {
+    // Best-effort affinity: worker w sticks to CPU (w mod ncpu). Failure
+    // (cpuset restrictions, exotic hosts) is ignored — pinning is a
+    // locality hint, never a correctness requirement.
+    const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<int>(worker % ncpu), &set);
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+#endif
+  auto* stolen_metric = obs::MetricsRegistry::global().counter("engine_shards_stolen");
   std::uint64_t seen_epoch = 0;
   for (;;) {
     SimTime wend;
@@ -104,8 +134,30 @@ void Executor::worker_main(std::size_t worker) {
       seen_epoch = epoch_;
       wend = wend_;
     }
+    // Home pass. The claim comes before the peek: once another worker owns
+    // a shard this window, even reading its engine would race the owner's
+    // execution. A claimed-but-idle shard costs one peek and moves on.
     for (const std::size_t s : worker_shards_[worker]) {
-      if (engines_[s]->peek_time() < wend) run_shard_inline(s, wend);
+      if (claim_shard(s, seen_epoch) && engines_[s]->peek_time() < wend) {
+        run_shard_inline(s, wend);
+      }
+    }
+    // Steal pass: scan every foreign shard in a fixed rotation from this
+    // worker's index. The scan order is a pure function of (worker, shard
+    // count) — deterministic — while which claims succeed depends on how
+    // far the other workers got; either way each shard executes exactly
+    // once per window, so results are identical and only wall-time moves.
+    if (options_.steal) {
+      const std::size_t n = engines_.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t s = (worker + 1 + i) % n;
+        if (home_worker_[s] == worker) continue;
+        if (claim_shard(s, seen_epoch) && engines_[s]->peek_time() < wend) {
+          shards_stolen_.fetch_add(1, std::memory_order_relaxed);
+          stolen_metric->inc();
+          run_shard_inline(s, wend);
+        }
+      }
     }
     {
       std::lock_guard<std::mutex> lk(mu_);

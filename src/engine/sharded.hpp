@@ -27,9 +27,15 @@
 //    tie-broken heap as the serial engine;
 //  * cross-shard delivery order is fixed by the (when, src shard, seq) sort,
 //    never by arrival order;
-//  * global events run single-threaded on the coordinator between windows.
+//  * global events run single-threaded on the coordinator between windows;
+//  * which worker executes a shard never affects results: an epoch-tagged
+//    claim gives each shard to exactly one worker per window (its home
+//    worker or, with Options::steal, an idle thief), and a shard's event
+//    stream depends only on engine state, not on the executing thread — so
+//    work stealing redistributes wall-clock, never outcomes.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -57,19 +63,48 @@ inline bool in_global_context() { return current_shard() == kNoShard; }
 
 class Executor {
  public:
+  static constexpr std::size_t kDefaultRingCapacity = 1024;
+
+  struct Options {
+    // Capacity of each shard's SPSC outbox ring (power of two); a window
+    // that emits more cross-shard messages than that spills to a plain
+    // vector, trading the lock-free hand-off for correctness, never
+    // blocking.
+    std::size_t ring_capacity = kDefaultRingCapacity;
+    // Work stealing: within a window, a worker that exhausts its home
+    // shards claims runnable shards homed on other workers, scanning all
+    // shards in a fixed rotation from its own index. Each shard is claimed
+    // by exactly one worker per window (epoch-tagged CAS), so the shard's
+    // event execution — and therefore every result — is identical no
+    // matter which worker ran it; stealing only changes wall-clock, never
+    // outcomes. Which claims succeed does depend on OS scheduling, so the
+    // shards_stolen() counter is a host measurement, not a deterministic
+    // simulation quantity.
+    bool steal = true;
+    // Pin worker w to CPU (w mod hardware_concurrency) via
+    // pthread_setaffinity_np (Linux only; silently a no-op elsewhere).
+    // This keeps the worker↔core mapping stable so per-core caches and —
+    // on multi-socket hosts — the NUMA pages a worker's shards touch stay
+    // local across windows. We deliberately do not link libnuma: shard
+    // state is placed by first touch, and pinning is purely a scheduling
+    // hint, so results are byte-identical with it on or off (on the
+    // single-node CI container it changes nothing at all).
+    bool pin_workers = false;
+  };
+
   // `global` is the engine for events that may touch cross-shard state
   // (Scenario hands in the Network's own engine, so fault schedules and the
   // heartbeat monitor keep using net.engine() verbatim). `threads` worker
-  // threads execute `shards` shard engines; shards are assigned to workers
-  // round-robin, so threads > shards wastes nothing and shards > threads
-  // just runs several shards per worker.
-  // `ring_capacity` sizes each shard's SPSC outbox ring (power of two); a
-  // window that emits more cross-shard messages than that spills to a plain
-  // vector, trading the lock-free hand-off for correctness, never blocking.
+  // threads execute `shards` shard engines; shards are homed on workers
+  // round-robin — that home assignment is also the deterministic base of
+  // the steal order — so threads > shards wastes nothing and shards >
+  // threads just runs several shards per worker.
+  Executor(std::size_t shards, std::size_t threads, SimTime lookahead,
+           Engine* global, Options options);
+  // Legacy convenience: default Options with an explicit ring capacity.
   Executor(std::size_t shards, std::size_t threads, SimTime lookahead,
            Engine* global, std::size_t ring_capacity = kDefaultRingCapacity);
 
-  static constexpr std::size_t kDefaultRingCapacity = 1024;
   ~Executor();
 
   Executor(const Executor&) = delete;
@@ -102,6 +137,13 @@ class Executor {
   std::uint64_t cross_messages() const { return cross_messages_; }
   std::uint64_t executed() const;
 
+  // Runnable shards executed by a worker other than their home worker.
+  // Host-timing dependent (see Options::steal) — exposed for tests and
+  // wall-style telemetry, never for gated deterministic metrics.
+  std::uint64_t shards_stolen() const {
+    return shards_stolen_.load(std::memory_order_relaxed);
+  }
+
  private:
   static constexpr std::uint32_t kGlobalTarget = 0xfffffffeu;
 
@@ -115,9 +157,21 @@ class Executor {
   void run_shard_inline(std::size_t s, SimTime wend);
   void deliver(std::vector<Msg>& msgs, SimTime wend);
 
+  // Claim shard `s` for window `epoch`. Exactly one worker per window wins;
+  // the winner is the only thread that may touch the shard's engine until
+  // the barrier. The epoch tag makes claims self-resetting across windows.
+  bool claim_shard(std::size_t s, std::uint64_t epoch) {
+    std::uint64_t prev = claims_[s].load(std::memory_order_relaxed);
+    return prev != epoch &&
+           claims_[s].compare_exchange_strong(prev, epoch,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed);
+  }
+
   std::vector<std::unique_ptr<Engine>> engines_;
   Engine* global_;
   SimTime lookahead_;
+  Options options_;
 
   // One outbox per shard (not per worker): a shard runs on exactly one
   // thread per window — the single producer — and the coordinator drains at
@@ -146,6 +200,11 @@ class Executor {
   // outbox state in both directions (TSan-clean by construction).
   std::vector<std::thread> workers_;
   std::vector<std::vector<std::size_t>> worker_shards_;
+  std::vector<std::uint32_t> home_worker_;  // shard -> home worker index
+  // Per-shard epoch-tagged claim slots (see claim_shard). unique_ptr array
+  // because std::atomic is neither copyable nor movable.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> claims_;
+  std::atomic<std::uint64_t> shards_stolen_{0};
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;

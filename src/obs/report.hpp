@@ -39,8 +39,11 @@ namespace difane::obs {
 // when the build was configured outside a git checkout.
 const char* build_git_rev();
 
-// True when a metric key names host wall-clock timing rather than a
-// deterministic simulation quantity.
+// True when a metric key names a host measurement — wall-clock timing
+// ("_wall_", "wall_seconds") or resident-set size ("_rss_") — rather than a
+// deterministic simulation quantity. Host metrics are exempt from the
+// byte-identity gates (bench_compare applies them only under an explicit
+// --wall-threshold).
 bool is_wall_metric(const std::string& name);
 
 struct MetricsReport {

@@ -287,6 +287,85 @@ bool FlowTable::install(const Rule& rule, Band band, double now, double idle_tim
   return true;
 }
 
+std::size_t FlowTable::install_bulk(const std::vector<const Rule*>& rules,
+                                    Band band, double now) {
+  expects(band != Band::kCache,
+          "install_bulk: cache-band installs need the eviction/guard logic of "
+          "install()");
+  ++gen_;
+  BandState& bs = bands_[index(band)];
+  const std::size_t before = bs.order.size();
+  expects(std::is_sorted(bs.order.begin(), bs.order.end(),
+                         [this](std::uint32_t a, std::uint32_t b) {
+                           return rule_before(slab_[a].rule, slab_[b].rule);
+                         }),
+          "install_bulk: band order not rule_before-sorted (a refresh changed "
+          "an entry's priority?)");
+  std::size_t accepted = 0;
+  for (const Rule* rule : rules) {
+    // Same-id refresh keeps its position — identical to install(). Non-cache
+    // bands have no aux indices or guard links to rekey.
+    const auto existing = bs.by_id.find(rule->id);
+    if (existing != bs.by_id.end()) {
+      FlowEntry& e = slab_[existing->second];
+      // A same-priority refresh keeps the band sorted; a priority change
+      // would leave this entry stale-positioned and break the sortedness
+      // precondition for the next bulk call (and the equivalence with
+      // sequential install()). No non-cache caller changes priority on a
+      // refresh — partition repoints swap the action, authority reinstalls
+      // are identical rules — so reject it outright.
+      expects(e.rule.priority == rule->priority,
+              "install_bulk: refresh must not change priority (use install())");
+      e.rule = *rule;
+      e.install_time = now;
+      e.idle_timeout = 0.0;
+      e.hard_timeout = 0.0;
+      e.last_hit = now;
+      e.guards.clear();
+      note_expiry(e);
+      ++stats_.installs;
+      ++accepted;
+      continue;
+    }
+    const std::size_t other = bands_[index(Band::kAuthority)].order.size() +
+                              bands_[index(Band::kPartition)].order.size();
+    if (other >= hw_capacity_) {
+      ++stats_.install_rejected;
+      continue;
+    }
+    const std::uint32_t slot = alloc_slot();
+    FlowEntry& e = slab_[slot];
+    e.rule = *rule;
+    e.band = band;
+    e.install_time = now;
+    e.idle_timeout = 0.0;
+    e.hard_timeout = 0.0;
+    e.last_hit = now;
+    e.packets = 0;
+    e.bytes = 0;
+    e.guards.clear();
+    bs.order.push_back(slot);
+    bs.by_id.emplace(rule->id, slot);
+    note_expiry(e);
+    ++stats_.installs;
+    ++accepted;
+  }
+  if (bs.order.size() != before) {
+    // One sort of the appended tail plus one merge with the (sorted) prefix
+    // lands every new entry at exactly the position sequential order_insert
+    // calls would have chosen: rule_before is a strict total order, so the
+    // merged result is the unique sorted arrangement either way.
+    const auto mid = bs.order.begin() + static_cast<std::ptrdiff_t>(before);
+    const auto by_rule = [this](std::uint32_t a, std::uint32_t b) {
+      return rule_before(slab_[a].rule, slab_[b].rule);
+    };
+    std::sort(mid, bs.order.end(), by_rule);
+    std::inplace_merge(bs.order.begin(), mid, bs.order.end(), by_rule);
+    refresh_positions(bs, 0);
+  }
+  return accepted;
+}
+
 void FlowTable::retire(const FlowEntry& entry) {
   // Plumbing entries re-count at the authority switch; see retired() docs.
   if (entry.band == Band::kPartition) return;
@@ -500,8 +579,14 @@ void FlowTable::lookup_prefetch(const BitVec* const* keys, std::size_t n,
     batch.heads[i] = head;
     // Fetch the whole entry (rule pattern + timeouts + counters span ~3
     // lines); the resolve pass reads all of it within a few hundred ns.
-    if (prefetch && head != kNilSlot) {
-      util::prefetch_read_range(&slab_[head], sizeof(FlowEntry));
+    // Depth > 1 keeps walking the duplicate chain: the resolve pass visits
+    // exactly these nodes when the head turns out expired or superseded.
+    if (prefetch) {
+      std::uint32_t slot = head;
+      for (std::uint32_t d = 0; d < prefetch_depth_ && slot != kNilSlot; ++d) {
+        util::prefetch_read_range(&slab_[slot], sizeof(FlowEntry));
+        slot = exact_next_[slot];
+      }
     }
   }
 }

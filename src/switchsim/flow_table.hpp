@@ -93,6 +93,26 @@ class FlowTable {
   bool install(const Rule& rule, Band band, double now, double idle_timeout = 0.0,
                double hard_timeout = 0.0, std::vector<RuleId> guards = {});
 
+  // Bulk install into a non-cache band: semantically identical to calling
+  // install(rule, band, now) for each pointed-to rule in sequence (same
+  // final match order, same stats counters, same capacity/refresh
+  // behaviour), but O((n + k) + k log k) instead of O(n * k) — new entries
+  // are appended and merged into the band order once instead of paying a
+  // vector memmove plus a full position refresh per rule. Used by the
+  // controller's initial authority/partition population, where the
+  // per-insert path is quadratic at millions of rules (the E11 stress tier).
+  //
+  // Precondition: the band order is rule_before-sorted on entry. That holds
+  // for any band populated through install()/install_bulk, because
+  // rule_before is a strict total order (priority desc, id asc), ids are
+  // unique within a band, and same-id refreshes keep their position — it
+  // could only break if a refresh changed an entry's priority, which no
+  // non-cache caller does. Timeouts are fixed at "never" (0.0) and guards
+  // empty, matching every existing non-cache install site. Returns the
+  // number of rules accepted (installed or refreshed in place).
+  std::size_t install_bulk(const std::vector<const Rule*>& rules, Band band,
+                           double now);
+
   bool remove(RuleId id, Band band);
   void clear_band(Band band);
 
@@ -124,9 +144,20 @@ class FlowTable {
   };
 
   // Pass 1: memoize exact-match heads for keys[0..n) (n <= kMaxBatch) and,
-  // when `prefetch` is set, issue software prefetches over the entry slab.
+  // when `prefetch` is set, issue software prefetches over the entry slab —
+  // for each key, the first prefetch_depth() entries of its duplicate chain.
   void lookup_prefetch(const BitVec* const* keys, std::size_t n,
                        BatchState& batch, bool prefetch = true) const;
+
+  // Duplicate-chain entries prefetched per key by pass 1 (util/prefetch.hpp
+  // depth semantics). 1 — the default — fetches only the chain head, which
+  // is the winner unless it expired or was superseded; deeper values keep
+  // the resolve pass from stalling when hot keys carry refreshed duplicates.
+  // A pure hardware hint: lookup results are identical at any depth.
+  void set_prefetch_depth(std::uint32_t depth) {
+    prefetch_depth_ = depth > 0 ? depth : 1;
+  }
+  std::uint32_t prefetch_depth() const { return prefetch_depth_; }
 
   // Pass 2: the scalar lookup() for keys[i], reusing the memoized head when
   // the structure generation still matches (recomputing it otherwise).
@@ -330,6 +361,9 @@ class FlowTable {
   // Lower bound on the earliest instant any entry can expire; +inf when no
   // entry carries a timeout. lookup() sweeps only once `now` reaches it.
   double expiry_watermark_ = std::numeric_limits<double>::infinity();
+
+  // See set_prefetch_depth(); >= 1 always.
+  std::uint32_t prefetch_depth_ = 1;
 
   // Structure generation: bumped by every mutator that can move, remove, or
   // re-link entries (install, remove, clear_band, expire, LRU eviction,

@@ -25,12 +25,26 @@ inline void prefetch_write(const void*) {}
 
 #endif
 
-// Prefetch an object that may span multiple cache lines: one hint per 64-byte
+// Cache-line granularity assumed by the range helper. Every mainstream
+// target this builds on (x86-64, aarch64) uses 64-byte lines; a wrong guess
+// costs at most redundant or missing hints, never correctness.
+inline constexpr unsigned kCacheLineBytes = 64;
+
+// Prefetch an object that may span multiple cache lines: one hint per cache
 // line over [p, p + bytes). FlowEntry is ~3 lines; fetching all of them keeps
 // the resolve pass from stalling on the second line after the first hit.
 inline void prefetch_read_range(const void* p, unsigned bytes) {
   const char* c = static_cast<const char*>(p);
-  for (unsigned off = 0; off < bytes; off += 64) prefetch_read(c + off);
+  for (unsigned off = 0; off < bytes; off += kCacheLineBytes) {
+    prefetch_read(c + off);
+  }
 }
+
+// Depth semantics for chained prefetch (FlowTable's exact-match duplicate
+// chains, ScenarioParams::prefetch_depth): depth N means "prefetch the first
+// N nodes reachable from the head", each via prefetch_read_range. Walking a
+// linked chain requires the *caller's* node layout, so the walk itself lives
+// with the data structure; this header only fixes the unit (nodes, not
+// lines) so every tunable that says "depth" means the same thing.
 
 }  // namespace difane::util

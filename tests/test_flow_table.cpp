@@ -218,6 +218,68 @@ TEST(FlowTable, CascadeSparesUnguardedEntries) {
   EXPECT_EQ(ft.stats().cascade_evictions, 0u);
 }
 
+// install_bulk promises bit-identical observable state to a sequence of
+// install() calls: same band order, same stats counters, same refresh and
+// capacity behaviour. Drive both paths with interleaved priorities (worst
+// case for per-insert ordering), duplicate-id refreshes, a second batch on
+// top of an existing band, and a capacity overflow.
+TEST(FlowTable, BulkInstallMatchesSequential) {
+  std::vector<Rule> batch1, batch2;
+  for (RuleId id = 0; id < 200; ++id) {
+    // Interleave priorities so sequential inserts land all over the band.
+    batch1.push_back(proto_rule(id, (id * 37) % 50, static_cast<std::uint8_t>(id % 7),
+                                Action::forward(static_cast<std::uint32_t>(id % 4))));
+  }
+  for (RuleId id = 150; id < 350; ++id) {  // ids 150..199 refresh in place
+    // Refreshes keep their priority (like a partition repoint: only the
+    // action changes) — a priority change would de-sort the band and is
+    // rejected by install_bulk's contract.
+    const Priority prio = id < 200 ? (id * 37) % 50 : (id * 13) % 50;
+    batch2.push_back(proto_rule(id, prio, static_cast<std::uint8_t>(id % 5),
+                                Action::drop()));
+  }
+
+  FlowTable seq(10, 300), bulk(10, 300);  // hw capacity forces rejections
+  for (const Rule& r : batch1) seq.install(r, Band::kAuthority, 1.0);
+  for (const Rule& r : batch2) seq.install(r, Band::kAuthority, 2.0);
+
+  std::vector<const Rule*> ptrs;
+  for (const Rule& r : batch1) ptrs.push_back(&r);
+  EXPECT_EQ(bulk.install_bulk(ptrs, Band::kAuthority, 1.0), batch1.size());
+  ptrs.clear();
+  for (const Rule& r : batch2) ptrs.push_back(&r);
+  // 50 refreshes + 100 new fit under the 300-entry cap; 100 are rejected.
+  EXPECT_EQ(bulk.install_bulk(ptrs, Band::kAuthority, 2.0), 150u);
+
+  EXPECT_EQ(seq.stats().installs, bulk.stats().installs);
+  EXPECT_EQ(seq.stats().install_rejected, bulk.stats().install_rejected);
+  ASSERT_EQ(seq.size(Band::kAuthority), bulk.size(Band::kAuthority));
+  const auto sv = seq.entries(Band::kAuthority);
+  const auto bv = bulk.entries(Band::kAuthority);
+  for (std::size_t i = 0; i < sv.size(); ++i) {
+    EXPECT_EQ(sv[i].rule.id, bv[i].rule.id) << "order diverges at " << i;
+    EXPECT_EQ(sv[i].rule.priority, bv[i].rule.priority);
+    EXPECT_EQ(sv[i].install_time, bv[i].install_time);
+    EXPECT_TRUE(sv[i].rule.action == bv[i].rule.action) << "action at " << i;
+  }
+  for (std::uint8_t proto = 0; proto < 8; ++proto) {
+    const BitVec pkt = PacketBuilder().ip_proto(proto).build();
+    const FlowEntry* se = seq.lookup(pkt, 3.0);
+    const FlowEntry* be = bulk.lookup(pkt, 3.0);
+    ASSERT_EQ(se == nullptr, be == nullptr);
+    if (se != nullptr) {
+      EXPECT_EQ(se->rule.id, be->rule.id);
+    }
+  }
+}
+
+TEST(FlowTable, BulkInstallRejectsCacheBand) {
+  FlowTable ft(10);
+  const Rule r = rule_of(1, 1);
+  const std::vector<const Rule*> ptrs{&r};
+  EXPECT_THROW(ft.install_bulk(ptrs, Band::kCache, 0.0), contract_violation);
+}
+
 TEST(FlowTable, ClearBand) {
   FlowTable ft(4);
   ft.install(rule_of(1, 1), Band::kPartition, 0.0);

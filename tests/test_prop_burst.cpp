@@ -59,6 +59,10 @@ CaseSetup gen_case(proptest::PropertyContext& ctx) {
   // Short timeouts make the lazy-expiry sweep fire mid-burst; long ones keep
   // the cache warm so batched hits dominate.
   p.timings.cache_idle_timeout = ctx.rng.bernoulli(0.5) ? 0.02 : 10.0;
+  // Prefetch depth is a pure memory hint: any depth must leave every
+  // fingerprint identical, so let cases draw it freely.
+  static constexpr std::size_t kDepths[] = {1, 2, 4, 8};
+  p.prefetch_depth = kDepths[ctx.rng.uniform(0, 3)];
   if (ctx.rng.bernoulli(0.4)) {
     p.measurement.enabled = true;
     p.measurement.sample_prob = 0.25 + ctx.rng.uniform01() * 0.5;

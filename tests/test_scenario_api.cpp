@@ -476,6 +476,20 @@ TEST(Validate, RejectsBurstAndRingMisWiresNamingTheField) {
   params.burst = 2048;  // exceeds the default 1024-slot ring
   EXPECT_EQ(field_of(params), "burst");
 
+  // Prefetch depth: counts exact-match chain entries prefetched per key, so
+  // zero is meaningless and anything past one batch's worth is a mis-wire.
+  params = good_params();
+  params.prefetch_depth = 0;
+  EXPECT_EQ(field_of(params), "prefetch_depth");
+
+  params = good_params();
+  params.prefetch_depth = FlowTable::kMaxBatch + 1;
+  EXPECT_EQ(field_of(params), "prefetch_depth");
+
+  params = good_params();
+  params.prefetch_depth = 8;
+  EXPECT_NO_THROW(params.validate());
+
   // Well-formed combinations: scalar default, power-of-two rings, bursts up
   // to exactly the ring capacity, and non-power-of-two burst sizes (only
   // the ring is constrained).

@@ -4,11 +4,14 @@
 // threads=N is seed-stable (same seed + thread count => identical report).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <vector>
 
 #include "core/system.hpp"
 #include "engine/sharded.hpp"
+#include "obs/metrics.hpp"
 #include "util/contract.hpp"
 #include "workload/rulegen.hpp"
 #include "workload/trafficgen.hpp"
@@ -143,6 +146,109 @@ TEST(ShardedExecutor, MultiThreadedRunIsDeterministic) {
 }
 
 // ---------------------------------------------------------------------------
+// Work stealing
+
+// Shard results are independent of which thread runs them, so per-shard
+// traces must be identical with stealing on, off, and with pinning on — the
+// whole point of the epoch-claim protocol.
+std::vector<std::vector<std::pair<int, double>>> mesh_trace(
+    const shard::Executor::Options& options) {
+  Engine global;
+  shard::Executor exec(4, 4, 0.010, &global, options);
+  std::vector<std::vector<std::pair<int, double>>> traces(4);
+  const auto record = [&exec, &traces](int tag) {
+    traces[shard::current_shard()].emplace_back(tag,
+                                                exec.context_engine().now());
+  };
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    exec.schedule(s, 0.001 * (s + 1), [&exec, &record, s]() {
+      const double now = exec.context_engine().now();
+      record(static_cast<int>(s));
+      exec.schedule((s + 1) % 4, now + 0.010, [&record, s]() {
+        record(100 + static_cast<int>(s));
+      });
+      exec.schedule((s + 2) % 4, now, [&record, s]() {
+        record(200 + static_cast<int>(s));
+      });
+    });
+  }
+  exec.run();
+  return traces;
+}
+
+TEST(WorkStealing, StealToggleAndPinningLeaveTracesIdentical) {
+  shard::Executor::Options on;
+  on.steal = true;
+  shard::Executor::Options off;
+  off.steal = false;
+  shard::Executor::Options pinned;
+  pinned.steal = true;
+  pinned.pin_workers = true;
+  const auto base = mesh_trace(off);
+  std::size_t total = 0;
+  for (const auto& t : base) total += t.size();
+  ASSERT_EQ(total, 12u);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(mesh_trace(on), base);
+    EXPECT_EQ(mesh_trace(pinned), base);
+  }
+}
+
+// Busy-wait so a shard's events take real wall time without sleeping (a
+// sleeping worker would let the OS re-order wakeups arbitrarily).
+void spin_for_us(int us) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+// Two workers, four shards, all the heavy work homed on worker 1 (shards 1
+// and 3). Worker 0 drains its trivial homes and must pick up worker 1's
+// second shard through the steal pass. Stealing is timing-dependent by
+// design, so the assertion is probabilistic with overwhelming odds: ~100
+// windows per run, each leaving a stealable shard while the other grinds,
+// retried a few times before declaring failure.
+TEST(WorkStealing, SkewedLoadGetsStolen) {
+  const auto skewed_run = [](bool steal) {
+    Engine global;
+    shard::Executor::Options options;
+    options.steal = steal;
+    shard::Executor exec(4, 2, 0.001, &global, options);
+    std::atomic<int> ran{0};
+    for (int k = 0; k < 100; ++k) {
+      const double at = 0.0005 + 0.001 * k;
+      exec.schedule(0, at, [&ran]() { ran.fetch_add(1); });
+      for (std::uint32_t s : {1u, 3u}) {
+        exec.schedule(s, at, [&ran]() {
+          spin_for_us(50);
+          ran.fetch_add(1);
+        });
+      }
+    }
+    exec.run();
+    EXPECT_EQ(ran.load(), 300);
+    return exec.shards_stolen();
+  };
+
+  // Stealing disabled: the claim loop never leaves the home set.
+  EXPECT_EQ(skewed_run(false), 0u);
+
+  const std::uint64_t counter_before =
+      obs::MetricsRegistry::global().counter("engine_shards_stolen")->value();
+  std::uint64_t stolen = 0;
+  for (int attempt = 0; attempt < 5 && stolen == 0; ++attempt) {
+    stolen = skewed_run(true);
+  }
+  EXPECT_GT(stolen, 0u) << "no steal observed across 5 skewed runs";
+  if (obs::kEnabled) {
+    const std::uint64_t counter_after =
+        obs::MetricsRegistry::global().counter("engine_shards_stolen")->value();
+    EXPECT_GE(counter_after - counter_before, stolen);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Scenario-level parallel execution
 
 RuleTable policy_for_threads(std::uint64_t seed = 7) {
@@ -243,6 +349,72 @@ TEST(ScenarioThreads, ThreadsOneIsByteIdenticalToLegacy) {
     return report.to_json_string();
   };
   EXPECT_EQ(run_once(1), run_once(1));
+}
+
+// Stealing is wall-clock-only: the snapshot and the verifier verdict at
+// threads=4 must be byte-identical with stealing on and off, under a
+// workload skewed onto two ingresses so the steal path actually exercises.
+TEST(ScenarioThreads, StealToggleKeepsSnapshotAndVerdictIdentical) {
+  const auto policy = policy_for_threads();
+  TrafficParams tp;
+  tp.seed = 31;
+  tp.flow_pool = 400;
+  tp.zipf_s = 0.9;
+  tp.arrival_rate = 4000.0;
+  tp.duration = 0.25;
+  tp.mean_packets = 3.0;
+  tp.ingress_count = 2;  // all load on two shards: maximal imbalance
+  const auto flows = TrafficGenerator(policy, tp).generate();
+  const auto run_once = [&](bool steal) {
+    auto params = threads_params(4);
+    params.steal = steal;
+    Scenario scenario(policy, params);
+    auto report = scenario.run(flows).snapshot("steal");
+    report.git_rev = "fixed";
+    report.wall_seconds = 0.0;
+    const auto verdict = scenario.verify_installed();
+    return report.to_json_string() + (verdict.clean() ? "clean" : verdict.summary());
+  };
+  EXPECT_EQ(run_once(true), run_once(false));
+}
+
+// Pinning is a placement hint only: byte-identical snapshots on or off (on
+// this single-node container it is also a documented no-op).
+TEST(ScenarioThreads, PinWorkersKeepsSnapshotIdentical) {
+  const auto policy = policy_for_threads();
+  const auto flows = traffic_for_threads(policy, 26);
+  const auto run_once = [&](bool pin) {
+    auto params = threads_params(4);
+    params.pin_workers = pin;
+    Scenario scenario(policy, params);
+    auto report = scenario.run(flows).snapshot("pin");
+    report.git_rev = "fixed";
+    report.wall_seconds = 0.0;
+    return report.to_json_string();
+  };
+  EXPECT_EQ(run_once(true), run_once(false));
+}
+
+// threads=1 takes the serial engine path; the scale-out knobs must not
+// perturb it in any combination.
+TEST(ScenarioThreads, StealAndPinFlagsKeepThreadsOneIdentical) {
+  const auto policy = policy_for_threads();
+  const auto flows = traffic_for_threads(policy, 27);
+  const auto run_once = [&](bool steal, bool pin) {
+    auto params = threads_params(1);
+    params.steal = steal;
+    params.pin_workers = pin;
+    Scenario scenario(policy, params);
+    auto report = scenario.run(flows).snapshot("serial");
+    report.git_rev = "fixed";
+    report.wall_seconds = 0.0;
+    EXPECT_EQ(scenario.shards_stolen(), 0u);
+    return report.to_json_string();
+  };
+  const std::string base = run_once(true, false);  // the defaults
+  EXPECT_EQ(run_once(false, false), base);
+  EXPECT_EQ(run_once(true, true), base);
+  EXPECT_EQ(run_once(false, true), base);
 }
 
 // Fault injection under parallel execution: per-shard Rng streams keep the

@@ -39,6 +39,7 @@ constexpr BenchSpec kBenches[] = {
     {"E8", "bench_e8_stretch"},
     {"E9", "bench_e9_failover"},
     {"E10", "bench_e10_classifier"},
+    {"E11", "bench_e11_scale"},
     {"E12", "bench_e12_telemetry"},
     {"A1", "bench_a1_cache_planner"},
     {"A2", "bench_a2_replication"},

@@ -4,7 +4,7 @@
 # plus a TSan pass (DIFANE_SANITIZE=thread) over the unit and chaos labels —
 # the sharded parallel engine makes race coverage part of tier-1 hygiene.
 #
-#   tools/check.sh [--quick-bench] [--perf] [--threads] [--burst] [FUZZ_SECONDS]
+#   tools/check.sh [--quick-bench] [--perf] [--threads] [--burst] [--scale] [FUZZ_SECONDS]
 #
 # FUZZ_SECONDS (default 30) bounds the sanitized fuzz_difane run. All build
 # trees are kept (build/, build-san/, build-tsan/) so incremental re-runs
@@ -26,6 +26,13 @@
 # (the burst data plane is an execution-order optimization only; wall
 # metrics are exempt as always).
 #
+# --scale runs the E11 scale-out stress tier in --quick mode twice and
+# asserts with bench_compare that its deterministic metrics (rule counts,
+# peak concurrency, delivery counters) reproduce byte-for-byte; wall and RSS
+# metrics are host measurements and exempt. The full-size tier (10M rules /
+# 1M concurrent flows, minutes + ~10 GiB) is run manually:
+#   ./build/bench/bench_e11_scale --json BENCH_E11.json
+#
 # --perf gates the build against the committed perf baseline
 # (bench/BASELINE.json): one quick bench_all run, then bench_compare with
 # deterministic metrics exact and wall metrics allowed PERF_WALL_THRESHOLD
@@ -42,6 +49,7 @@ quick_bench=0
 perf=0
 threads_gate=0
 burst_gate=0
+scale_gate=0
 fuzz_seconds=30
 for arg in "$@"; do
   case "$arg" in
@@ -49,6 +57,7 @@ for arg in "$@"; do
     --perf) perf=1 ;;
     --threads) threads_gate=1 ;;
     --burst) burst_gate=1 ;;
+    --scale) scale_gate=1 ;;
     *) fuzz_seconds="$arg" ;;
   esac
 done
@@ -113,6 +122,19 @@ if [[ "$burst_gate" == 1 ]]; then
     build/BENCH_trajectory_b32.json
 fi
 
+if [[ "$scale_gate" == 1 ]]; then
+  echo "== scale: bench_e11_scale --quick determinism gate =="
+  ./build/tools/bench_all --quick --jobs 1 --only E11 \
+    --dir build/bench-reports-scale --out build/BENCH_trajectory_scale.json
+  ./build/tools/bench_all --quick --jobs 1 --only E11 \
+    --dir build/bench-reports-scale-2 --out build/BENCH_trajectory_scale2.json
+  # The stress tier's deterministic metrics (rule/flow/concurrency/delivery
+  # counters) must reproduce byte-for-byte; wall and RSS keys are host
+  # measurements and exempt by naming convention.
+  ./build/tools/bench_compare build/BENCH_trajectory_scale.json \
+    build/BENCH_trajectory_scale2.json
+fi
+
 if [[ "$perf" == 1 ]]; then
   echo "== perf: bench_all --quick vs committed baseline =="
   ./build/tools/bench_all --quick --jobs "$jobs" \
@@ -151,10 +173,10 @@ TSAN_OPTIONS=halt_on_error=1 \
 # gtest discovery registers Suite.Test names, not binary names, so the name
 # filters below match the suites (--no-tests=error guards against a filter
 # silently matching nothing).
-echo "== sharded engine (tsan): ShardedExecutor suite =="
+echo "== sharded engine (tsan): ShardedExecutor/WorkStealing suites =="
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure --no-tests=error \
-  -R '^(ShardedExecutor|ScenarioThreads)\.' -j "$jobs"
+  -R '^(ShardedExecutor|WorkStealing|ScenarioThreads)\.' -j "$jobs"
 # Live migration runs its state machine in global events while workers park
 # at shard barriers; the 4-thread differential and parallel-replay properties
 # are the racing surface, so call the suite out by name under TSan (it also
